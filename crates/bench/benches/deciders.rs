@@ -1,0 +1,73 @@
+//! Decider benchmarks: cost of the n-discerning / n-recording searches as a
+//! function of the level `n` and the type (experiment E2's measurement
+//! component, plus the zoo-classification cost of E5/E8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcn_bench::readable_zoo;
+use rcn_decide::{classify, is_n_discerning, is_n_recording};
+use rcn_spec::zoo::{StickyBit, Tnn};
+
+/// E2: `T_{n,n'}` discerning sweep — the positive half of Lemma 15 at
+/// increasing `n` (the decider confirms n-discerning each time).
+fn discerning_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discerning_tnn");
+    for n in [3usize, 4, 5, 6] {
+        let t = Tnn::new(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                assert!(is_n_discerning(&t, n));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The negative half: confirming NOT (n+1)-discerning requires exhausting
+/// the whole witness space, the worst case of the search.
+fn discerning_refutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("discerning_refute_tnn");
+    for n in [3usize, 4, 5] {
+        let t = Tnn::new(n, 1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                assert!(!is_n_discerning(&t, n + 1));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Recording sweep on the sticky bit (always succeeds; measures how the
+/// witness space grows with n).
+fn recording_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("recording_sticky");
+    for n in [2usize, 3, 4, 5, 6] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                assert!(is_n_recording(&StickyBit::new(), n));
+            });
+        });
+    }
+    group.finish();
+}
+
+/// E5/E8: full classification of the readable zoo at cap 4.
+fn zoo_classification(c: &mut Criterion) {
+    c.bench_function("classify_readable_zoo_cap4", |b| {
+        b.iter(|| {
+            for ty in readable_zoo() {
+                let cls = classify(&*ty, 4);
+                criterion::black_box(cls);
+            }
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    discerning_sweep,
+    discerning_refutation,
+    recording_sweep,
+    zoo_classification
+);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Runtime benchmarks: threaded execution of the recoverable protocols over
+//! the simulated NVM heap, with and without crash injection (E3's runtime
+//! component).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcn_bench::mixed_inputs;
+use rcn_protocols::{TnnRecoverable, TournamentConsensus};
+use rcn_runtime::{run_threaded, RunOptions};
+use rcn_spec::zoo::StickyBit;
+use std::sync::Arc;
+
+/// Threaded `TnnRecoverable` runs, crash-free vs crashy.
+fn tnn_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_tnn_5_2");
+    group.sample_size(20);
+    for &(label, crash_prob) in &[("crash_free", 0.0), ("crashy", 0.25)] {
+        group.bench_function(label, |b| {
+            let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report = run_threaded(
+                    &sys,
+                    RunOptions {
+                        seed,
+                        crash_prob,
+                        max_crashes: 4,
+                        ..Default::default()
+                    },
+                );
+                assert!(report.is_clean_consensus());
+                report.total_steps()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Tournament scaling with thread count.
+fn tournament_threaded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threaded_tournament_sticky");
+    group.sample_size(15);
+    for n in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), mixed_inputs(n))
+                .unwrap();
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let report = run_threaded(
+                    &sys,
+                    RunOptions {
+                        seed,
+                        crash_prob: 0.1,
+                        max_crashes: 3,
+                        ..Default::default()
+                    },
+                );
+                assert!(report.is_clean_consensus());
+                report.total_steps()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, tnn_threaded, tournament_threaded);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Specification-layer benchmarks: raw `apply` throughput (E1's measurement
+//! component) and the `Analysis` reachability construction that powers the
+//! deciders.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcn_decide::Analysis;
+use rcn_spec::zoo::Tnn;
+use rcn_spec::{ObjectType, OpId, TableType, ValueId};
+
+/// Sequential-spec application throughput: direct impl vs table normal form.
+fn apply_throughput(c: &mut Criterion) {
+    let t = Tnn::new(5, 2);
+    let table = TableType::from_type(&t);
+    let mut group = c.benchmark_group("apply_t52");
+    group.bench_function("direct", |b| {
+        b.iter(|| {
+            let mut v = t.s();
+            for _ in 0..1000 {
+                for op in 0..3u16 {
+                    let out = t.apply(v, OpId::new(op));
+                    v = out.next;
+                }
+            }
+            v
+        });
+    });
+    group.bench_function("table", |b| {
+        b.iter(|| {
+            let mut v = ValueId::new(0);
+            for _ in 0..1000 {
+                for op in 0..3u16 {
+                    let out = table.apply(v, OpId::new(op));
+                    v = out.next;
+                }
+            }
+            v
+        });
+    });
+    group.finish();
+}
+
+/// Analysis construction cost: the `(applied set, value)` BFS that replaces
+/// factorial schedule enumeration, by process count.
+fn analysis_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_tnn_6_1");
+    let t = Tnn::new(6, 1);
+    for n in [4usize, 6, 8, 10] {
+        let ops: Vec<OpId> = (0..n).map(|i| t.op_x(i % 2)).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| Analysis::new(&t, t.s(), &ops));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, apply_throughput, analysis_construction);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Shared fixtures for the rcn benchmarks and the `repro` driver.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rcn_spec::zoo::{
+    CompareAndSwap, ConsensusObject, FetchAndAdd, Register, StickyBit, Swap, TestAndSet,
+};
+use rcn_spec::ObjectType;
+
+/// The standard readable zoo used across benches and experiments, as
+/// boxed trait objects with stable ordering.
+pub fn readable_zoo() -> Vec<Box<dyn ObjectType + Send + Sync>> {
+    vec![
+        Box::new(Register::new(2)),
+        Box::new(TestAndSet::new()),
+        Box::new(FetchAndAdd::new(4)),
+        Box::new(Swap::new(2)),
+        Box::new(CompareAndSwap::new(3)),
+        Box::new(StickyBit::new()),
+        Box::new(ConsensusObject::new()),
+    ]
+}
+
+/// Alternating binary inputs of length `n` (always contains both values for
+/// `n ≥ 2`).
+pub fn mixed_inputs(n: usize) -> Vec<u32> {
+    (0..n as u32).map(|i| i % 2).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zoo_is_nonempty_and_readable() {
+        let zoo = readable_zoo();
+        assert!(zoo.len() >= 7);
+        for ty in &zoo {
+            assert!(ty.is_readable(), "{}", ty.name());
+        }
+    }
+
+    #[test]
+    fn mixed_inputs_contain_both_values() {
+        let inputs = mixed_inputs(5);
+        assert!(inputs.contains(&0) && inputs.contains(&1));
+        assert_eq!(inputs.len(), 5);
+    }
+}

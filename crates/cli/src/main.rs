@@ -1,0 +1,296 @@
+//! `rcn` — command-line interface to the recoverable-consensus toolkit.
+//!
+//! ```text
+//! rcn types                          list the type catalogue
+//! rcn classify <type> [--cap N]      consensus + recoverable consensus numbers
+//! rcn witness <type> <n> [discerning|recording]
+//!                                    find a witness and explain it
+//! rcn dot <type> [--self-loops]      Graphviz state machine (Figure 3 style)
+//! rcn table <type>                   transition table as text
+//! rcn solve <type> <inputs…>         build + exhaustively verify a
+//!                                    recoverable consensus protocol
+//! rcn simulate-tnn <n> <n'> <inputs…> model-check the paper's §4 algorithm
+//! ```
+
+mod types;
+
+use rcn_decide::{
+    classify, explain_discerning, explain_recording, find_discerning_witness,
+    find_recording_witness,
+};
+use rcn_protocols::TnnRecoverable;
+use rcn_spec::dot::{to_dot, to_table_text};
+use rcn_valency::check_consensus;
+use std::process::ExitCode;
+use types::{parse_type, CATALOGUE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!("run `rcn help` for usage");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let mut args = args.iter().map(String::as_str);
+    match args.next() {
+        None | Some("help" | "--help" | "-h") => {
+            print_help();
+            Ok(())
+        }
+        Some("types") => {
+            println!("{:<18} description", "expression");
+            for (expr, desc) in CATALOGUE {
+                println!("{expr:<18} {desc}");
+            }
+            Ok(())
+        }
+        Some("classify") => cmd_classify(&args.collect::<Vec<_>>()),
+        Some("compare") => cmd_compare(&args.collect::<Vec<_>>()),
+        Some("witness") => cmd_witness(&args.collect::<Vec<_>>()),
+        Some("dot") => cmd_dot(&args.collect::<Vec<_>>()),
+        Some("table") => cmd_table(&args.collect::<Vec<_>>()),
+        Some("solve") => cmd_solve(&args.collect::<Vec<_>>()),
+        Some("simulate-tnn") => cmd_simulate_tnn(&args.collect::<Vec<_>>()),
+        Some(other) => Err(format!("unknown command `{other}`")),
+    }
+}
+
+fn print_help() {
+    println!("rcn — determining recoverable consensus numbers (Ovens, PODC 2024)");
+    println!();
+    println!("commands:");
+    println!("  types                               list the type catalogue");
+    println!("  classify <type> [--cap N]           CN and RCN of a type (default cap 4)");
+    println!("  compare <type>… [--cap N]           hierarchy table over several types");
+    println!("  witness <type> <n> [kind]           find + explain a discerning/recording witness");
+    println!("  dot <type> [--self-loops]           Graphviz state machine");
+    println!("  table <type>                        transition table");
+    println!("  solve <type> <input>…               build + verify recoverable consensus");
+    println!("  simulate-tnn <n> <n'> <input>…      model-check the §4 recoverable algorithm");
+}
+
+fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|&a| a == flag)
+        .and_then(|i| args.get(i + 1).copied())
+}
+
+fn positional<'a>(args: &'a [&'a str]) -> impl Iterator<Item = &'a str> + 'a {
+    let mut skip_next = false;
+    args.iter().copied().filter(move |a| {
+        if skip_next {
+            skip_next = false;
+            return false;
+        }
+        if a.starts_with("--") {
+            skip_next = *a == "--cap"; // flags with values
+            return false;
+        }
+        true
+    })
+}
+
+fn cmd_classify(args: &[&str]) -> Result<(), String> {
+    let spec = positional(args)
+        .next()
+        .ok_or("usage: rcn classify <type> [--cap N]")?;
+    let cap: usize = flag_value(args, "--cap")
+        .map(|v| v.parse().map_err(|_| "cap must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    let c = classify(&*ty, cap);
+    println!("type                : {}", c.type_name);
+    println!("readable            : {}", c.readable);
+    println!("discerning number   : {}", c.discerning.display_level());
+    println!("recording number    : {}", c.recording.display_level());
+    println!("consensus number    : {}", c.consensus_number);
+    println!("recoverable CN      : {}", c.recoverable_consensus_number);
+    if let Some(w) = &c.discerning.witness {
+        println!("discerning witness  : {}", w.describe(&*ty));
+    }
+    if let Some(w) = &c.recording.witness {
+        println!("recording witness   : {}", w.describe(&*ty));
+    }
+    Ok(())
+}
+
+fn cmd_compare(args: &[&str]) -> Result<(), String> {
+    let cap: usize = flag_value(args, "--cap")
+        .map(|v| v.parse().map_err(|_| "cap must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    let specs: Vec<&str> = positional(args).collect();
+    if specs.is_empty() {
+        return Err("usage: rcn compare <type>… [--cap N]".into());
+    }
+    let mut report = rcn_core::HierarchyReport::new(cap);
+    for spec in specs {
+        let ty = parse_type(spec).map_err(|e| e.to_string())?;
+        report.add(&*ty);
+    }
+    println!("{report}");
+    Ok(())
+}
+
+fn cmd_witness(args: &[&str]) -> Result<(), String> {
+    let mut pos = positional(args);
+    let spec = pos.next().ok_or("usage: rcn witness <type> <n> [kind]")?;
+    let n: usize = pos
+        .next()
+        .ok_or("usage: rcn witness <type> <n> [kind]")?
+        .parse()
+        .map_err(|_| "n must be a number ≥ 2")?;
+    let kind = pos.next().unwrap_or("recording");
+    let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    match kind {
+        "discerning" => match find_discerning_witness(&*ty, n) {
+            Some(w) => print!("{}", explain_discerning(&*ty, &w)),
+            None => println!("{} is NOT {n}-discerning (no witness exists)", ty.name()),
+        },
+        "recording" => match find_recording_witness(&*ty, n) {
+            Some(w) => print!("{}", explain_recording(&*ty, &w)),
+            None => println!("{} is NOT {n}-recording (no witness exists)", ty.name()),
+        },
+        other => return Err(format!("kind must be `discerning` or `recording`, got `{other}`")),
+    }
+    Ok(())
+}
+
+fn cmd_dot(args: &[&str]) -> Result<(), String> {
+    let spec = positional(args).next().ok_or("usage: rcn dot <type>")?;
+    let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    print!("{}", to_dot(&*ty, args.contains(&"--self-loops")));
+    Ok(())
+}
+
+fn cmd_table(args: &[&str]) -> Result<(), String> {
+    let spec = positional(args).next().ok_or("usage: rcn table <type>")?;
+    let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    println!("{}", to_table_text(&*ty));
+    Ok(())
+}
+
+fn parse_inputs_slice(items: &[&str]) -> Result<Vec<u32>, String> {
+    let inputs: Result<Vec<u32>, _> = items.iter().map(|s| s.parse::<u32>()).collect();
+    let inputs = inputs.map_err(|_| "inputs must be 0/1".to_string())?;
+    if inputs.len() < 2 {
+        return Err("need at least 2 inputs".into());
+    }
+    if inputs.iter().any(|&x| x > 1) {
+        return Err("inputs must be binary (0 or 1)".into());
+    }
+    Ok(inputs)
+}
+
+fn cmd_solve(args: &[&str]) -> Result<(), String> {
+    let pos: Vec<&str> = positional(args).collect();
+    let (spec, rest) = pos.split_first().ok_or("usage: rcn solve <type> <input>…")?;
+    let inputs = parse_inputs_slice(rest)?;
+    let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    let sys = rcn_core::solve_recoverable(ty, inputs).map_err(|e| e.to_string())?;
+    println!(
+        "built {} over {} shared objects",
+        sys.program().name(),
+        sys.layout().len()
+    );
+    let report = check_consensus(&sys, 50_000_000).map_err(|e| e.to_string())?;
+    println!(
+        "exhaustive verification ({} configurations): {}",
+        report.configs, report.verdict
+    );
+    if report.verdict.is_correct() {
+        Ok(())
+    } else {
+        Err("verification failed".into())
+    }
+}
+
+fn cmd_simulate_tnn(args: &[&str]) -> Result<(), String> {
+    let pos: Vec<&str> = positional(args).collect();
+    if pos.len() < 3 {
+        return Err("usage: rcn simulate-tnn <n> <n'> <input>…".into());
+    }
+    let n: usize = pos[0].parse().map_err(|_| "n must be a number")?;
+    let n_prime: usize = pos[1].parse().map_err(|_| "n' must be a number")?;
+    let inputs = parse_inputs_slice(&pos[2..])?;
+    let procs = inputs.len();
+    let sys = TnnRecoverable::system(n, n_prime, inputs);
+    let report = check_consensus(&sys, 50_000_000).map_err(|e| e.to_string())?;
+    println!(
+        "T_({n},{n_prime}) recoverable algorithm, {procs} processes: {} ({} configurations)",
+        report.verdict, report.configs
+    );
+    if procs <= n_prime {
+        println!("(≤ n' processes: the paper's Lemma 16 says this must be correct)");
+    } else {
+        println!("(> n' processes: Lemma 16 says a violation must exist)");
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(items: &[&str]) -> Vec<String> {
+        items.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn help_and_types_run() {
+        assert!(run(&s(&["help"])).is_ok());
+        assert!(run(&s(&["types"])).is_ok());
+        assert!(run(&s(&[])).is_ok());
+    }
+
+    #[test]
+    fn classify_runs_on_small_types() {
+        assert!(run(&s(&["classify", "tas"])).is_ok());
+        assert!(run(&s(&["classify", "register:2", "--cap", "3"])).is_ok());
+    }
+
+    #[test]
+    fn compare_renders_a_table() {
+        assert!(run(&s(&["compare", "tas", "register:2", "--cap", "3"])).is_ok());
+        assert!(run(&s(&["compare"])).is_err());
+    }
+
+    #[test]
+    fn witness_explains_both_kinds() {
+        assert!(run(&s(&["witness", "tas", "2", "discerning"])).is_ok());
+        assert!(run(&s(&["witness", "sticky", "2", "recording"])).is_ok());
+        assert!(run(&s(&["witness", "tas", "2", "nonsense"])).is_err());
+    }
+
+    #[test]
+    fn dot_and_table_render() {
+        assert!(run(&s(&["dot", "tnn:3,1"])).is_ok());
+        assert!(run(&s(&["table", "tas"])).is_ok());
+    }
+
+    #[test]
+    fn solve_verifies_sticky_and_rejects_tas() {
+        assert!(run(&s(&["solve", "sticky", "0", "1"])).is_ok());
+        assert!(run(&s(&["solve", "tas", "0", "1"])).is_err());
+    }
+
+    #[test]
+    fn simulate_tnn_runs() {
+        assert!(run(&s(&["simulate-tnn", "4", "2", "0", "1"])).is_ok());
+    }
+
+    #[test]
+    fn bad_commands_and_args_error() {
+        assert!(run(&s(&["frobnicate"])).is_err());
+        assert!(run(&s(&["classify"])).is_err());
+        assert!(run(&s(&["solve", "sticky", "0", "7"])).is_err());
+        assert!(run(&s(&["solve", "sticky", "0"])).is_err());
+    }
+}

@@ -1,0 +1,122 @@
+//! Hierarchy reports: classify a set of types and render the comparison
+//! table that experiment E5/E8 prints.
+
+use rcn_decide::{classify, robust_level, TypeClassification};
+use rcn_spec::ObjectType;
+use std::fmt;
+
+/// A classification report over a set of types.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_core::HierarchyReport;
+/// use rcn_spec::zoo::{Register, TestAndSet};
+///
+/// let mut report = HierarchyReport::new(3);
+/// report.add(&Register::new(2));
+/// report.add(&TestAndSet::new());
+/// assert_eq!(report.robust_level().0, 1);
+/// println!("{report}");
+/// ```
+#[derive(Debug)]
+pub struct HierarchyReport {
+    cap: usize,
+    classes: Vec<TypeClassification>,
+}
+
+impl HierarchyReport {
+    /// Creates an empty report; searches run up to level `cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap < 2`.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap >= 2, "cap must be at least 2");
+        HierarchyReport {
+            cap,
+            classes: Vec::new(),
+        }
+    }
+
+    /// Classifies a type and appends it to the report.
+    pub fn add<T: ObjectType + ?Sized>(&mut self, ty: &T) -> &TypeClassification {
+        self.classes.push(classify(ty, self.cap));
+        self.classes.last().expect("just pushed")
+    }
+
+    /// The classifications so far.
+    pub fn classes(&self) -> &[TypeClassification] {
+        &self.classes
+    }
+
+    /// The search cap used.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Theorem 14's *robust level* of the type set: the maximum recoverable
+    /// consensus number across the set — combining objects of these types
+    /// cannot do better (for deterministic readable types).
+    pub fn robust_level(&self) -> (usize, Option<String>) {
+        robust_level(&self.classes)
+    }
+}
+
+impl fmt::Display for HierarchyReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{:<24} {:<8} {:<6} {:<6} (discerning=d, recording=r, cap={})",
+            "type", "readable", "CN", "RCN", self.cap
+        )?;
+        for c in &self.classes {
+            writeln!(
+                f,
+                "{:<24} {:<8} {:<6} {:<6} (d={}, r={})",
+                c.type_name,
+                if c.readable { "yes" } else { "no" },
+                c.consensus_number.to_string(),
+                c.recoverable_consensus_number.to_string(),
+                c.discerning.display_level(),
+                c.recording.display_level(),
+            )?;
+        }
+        let (level, who) = self.robust_level();
+        write!(
+            f,
+            "robust level of the set: {level}{}",
+            who.map(|w| format!(" (via {w})")).unwrap_or_default()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_spec::zoo::{Register, StickyBit, TestAndSet};
+
+    #[test]
+    fn report_accumulates_and_renders() {
+        let mut report = HierarchyReport::new(3);
+        report.add(&Register::new(2));
+        report.add(&TestAndSet::new());
+        report.add(&StickyBit::new());
+        assert_eq!(report.classes().len(), 3);
+        let text = report.to_string();
+        assert!(text.contains("test-and-set"));
+        assert!(text.contains("sticky-bit"));
+        assert!(text.contains("robust level of the set: 3"));
+    }
+
+    #[test]
+    fn robust_level_matches_best_member() {
+        let mut report = HierarchyReport::new(3);
+        report.add(&Register::new(2));
+        assert_eq!(report.robust_level(), (1, None));
+        report.add(&StickyBit::new());
+        let (level, who) = report.robust_level();
+        assert_eq!(level, 3);
+        assert_eq!(who.as_deref(), Some("sticky-bit"));
+    }
+}

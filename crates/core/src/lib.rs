@@ -1,0 +1,121 @@
+//! # rcn-core — recoverable consensus numbers, end to end
+//!
+//! The facade of the `rcn` workspace, a full reproduction of *"Determining
+//! Recoverable Consensus Numbers"* (Sean Ovens, PODC 2024). It re-exports
+//! the layers and adds the top-level workflows:
+//!
+//! * [`HierarchyReport`] — classify a set of types: consensus numbers,
+//!   recoverable consensus numbers, and the Theorem 14 robust level;
+//! * [`shipped_xn`] — the synthesized `X_n` reconstructions (readable types
+//!   with consensus number `n` and recoverable consensus number `n−2`);
+//! * [`solve_recoverable`] — build a runnable recoverable consensus system
+//!   for a readable type, from its own recording witnesses;
+//! * [`verify`] — model-check any system exhaustively.
+//!
+//! ## Layers
+//!
+//! | crate | contents |
+//! |-------|----------|
+//! | [`spec`] | deterministic sequential type specifications + the zoo |
+//! | [`model`] | schedules, crashes, `E_z*` budgets, executor, adversaries |
+//! | [`decide`] | n-discerning / n-recording deciders, synthesis |
+//! | [`valency`] | exhaustive model checker + §3 valency machinery |
+//! | [`protocols`] | §4 algorithms, baselines, tournament construction |
+//! | [`runtime`] | threaded NVM-simulated execution with crash injection |
+//! | [`universal`] | recoverable universal construction (one-shot object simulation) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcn_core::{solve_recoverable, verify};
+//! use rcn_spec::zoo::StickyBit;
+//! use std::sync::Arc;
+//!
+//! // Recoverable 3-process consensus from sticky bits, auto-derived from
+//! // the type's recording witnesses and exhaustively verified:
+//! let sys = solve_recoverable(Arc::new(StickyBit::new()), vec![1, 0, 1]).unwrap();
+//! assert!(verify(&sys, 2_000_000).unwrap().is_correct());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hierarchy;
+mod xn;
+
+pub use hierarchy::HierarchyReport;
+pub use xn::shipped_xn;
+
+pub use rcn_decide as decide;
+pub use rcn_model as model;
+pub use rcn_protocols as protocols;
+pub use rcn_runtime as runtime;
+pub use rcn_spec as spec;
+pub use rcn_universal as universal;
+pub use rcn_valency as valency;
+
+use rcn_model::System;
+use rcn_protocols::{PlanError, TournamentConsensus};
+use rcn_spec::ObjectType;
+use rcn_valency::{ExploreError, Verdict};
+use std::sync::Arc;
+
+/// Builds a recoverable wait-free consensus system for the given inputs
+/// using objects of a readable type, deriving the protocol from the type's
+/// own (non-hiding) recording witnesses.
+///
+/// # Errors
+///
+/// Returns [`PlanError`] if the type is not readable or lacks the witnesses
+/// (e.g. test-and-set: Golab's separation).
+///
+/// # Examples
+///
+/// ```
+/// use rcn_core::solve_recoverable;
+/// use rcn_spec::zoo::TestAndSet;
+/// use std::sync::Arc;
+///
+/// // Test-and-set cannot do it — exactly Golab's result:
+/// assert!(solve_recoverable(Arc::new(TestAndSet::new()), vec![0, 1]).is_err());
+/// ```
+pub fn solve_recoverable(
+    ty: Arc<dyn ObjectType + Send + Sync>,
+    inputs: Vec<u32>,
+) -> Result<System, PlanError> {
+    TournamentConsensus::try_new(ty, inputs)
+}
+
+/// Exhaustively model-checks a consensus system: agreement, validity and
+/// recoverable wait-freedom under unconstrained crashes.
+///
+/// # Errors
+///
+/// Returns [`ExploreError`] if the state space exceeds `max_configs`.
+pub fn verify(system: &System, max_configs: usize) -> Result<Verdict, ExploreError> {
+    rcn_valency::check_consensus(system, max_configs).map(|r| r.verdict)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_spec::zoo::{StickyBit, Tnn};
+
+    #[test]
+    fn solve_and_verify_sticky_bit() {
+        let sys = solve_recoverable(Arc::new(StickyBit::new()), vec![0, 1]).unwrap();
+        assert!(verify(&sys, 1_000_000).unwrap().is_correct());
+    }
+
+    #[test]
+    fn readable_tnn_solves_two_processes() {
+        let sys = solve_recoverable(Arc::new(Tnn::new(3, 2)), vec![1, 0]).unwrap();
+        assert!(verify(&sys, 1_000_000).unwrap().is_correct());
+    }
+
+    #[test]
+    fn verify_reports_state_space_limits() {
+        let sys = solve_recoverable(Arc::new(StickyBit::new()), vec![0, 1]).unwrap();
+        assert!(verify(&sys, 2).is_err());
+    }
+}

@@ -1,0 +1,71 @@
+//! Shipped `X_n` reconstructions: synthesized tables with machine-checked
+//! profiles (experiment E6).
+//!
+//! The paper's corollary says DFFR'22's readable type `X_n` has recoverable
+//! consensus number exactly `n−2` (consensus number `n`). DFFR's
+//! construction is not restated in the paper, so we ship **synthesized**
+//! types with the same decider profile — found by
+//! `rcn_decide::synthesis::hill_climb` and re-verified by the deciders in
+//! this module's tests on every run.
+
+use rcn_spec::zoo::Xn;
+use rcn_spec::TableType;
+
+/// The synthesized `X_4` table (readable, 4-discerning, 2-recording),
+/// found by `rcn-decide`'s hill climb seeded from `TeamCounter(4)`.
+const XN_4_JSON: &str = include_str!("../data/xn_4.json");
+
+/// Loads a shipped, verified `X_n` reconstruction.
+///
+/// Returns `None` when no table has been synthesized for this `n` (the
+/// `xn_hunt` example in `rcn-decide` searches for more).
+///
+/// # Examples
+///
+/// ```
+/// use rcn_core::shipped_xn;
+/// use rcn_decide::{discerning_number, recording_number};
+///
+/// let x4 = shipped_xn(4).expect("X_4 ships with the crate");
+/// assert_eq!(discerning_number(&x4, 5).level, 4);
+/// assert_eq!(recording_number(&x4, 5).level, 2);
+/// ```
+pub fn shipped_xn(n: usize) -> Option<Xn> {
+    let json = match n {
+        4 => XN_4_JSON,
+        _ => return None,
+    };
+    let table: TableType =
+        serde_json::from_str(json).expect("embedded X_n tables deserialize");
+    table.validate().expect("embedded X_n tables are valid");
+    Some(Xn::from_table(n, table))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_decide::{classify, discerning_number, recording_number, Bound};
+    use rcn_spec::ObjectType;
+
+    #[test]
+    fn x4_profile_is_machine_verified() {
+        // The full E6 claim, re-checked from scratch on every test run.
+        let x4 = shipped_xn(4).expect("shipped");
+        assert!(x4.is_readable());
+        let d = discerning_number(&x4, 5);
+        assert_eq!(d.level, 4, "4-discerning but not 5-discerning");
+        assert!(!d.capped);
+        let r = recording_number(&x4, 5);
+        assert_eq!(r.level, 2, "2-recording but not 3-recording");
+        // Theorem 13 + DFFR Thm 8: readable ⟹ exact numbers.
+        let c = classify(&x4, 5);
+        assert_eq!(c.consensus_number, Bound::Exact(4));
+        assert_eq!(c.recoverable_consensus_number, Bound::Exact(2));
+    }
+
+    #[test]
+    fn unshipped_sizes_return_none() {
+        assert!(shipped_xn(3).is_none());
+        assert!(shipped_xn(6).is_none());
+    }
+}

@@ -1,0 +1,20 @@
+//! Scratch probe used during development; kept as a tiny demo of the raw
+//! decider API.
+use rcn_decide::*;
+use rcn_spec::zoo::*;
+
+fn main() {
+    for (a, c) in [(2usize, 2usize), (2, 3), (2, 4)] {
+        let q = BoundedQueue::new(a, c);
+        let d: Vec<bool> = (2..5).map(|n| is_n_discerning(&q, n)).collect();
+        let r: Vec<bool> = (2..5).map(|n| is_n_recording(&q, n)).collect();
+        println!("queue<{a},{c}>: discerning(2..5)={d:?} recording(2..5)={r:?}");
+    }
+    let s = BoundedStack::new(2, 3);
+    println!(
+        "stack<2,3>: 2d={} 3d={} 2r={}",
+        is_n_discerning(&s, 2),
+        is_n_discerning(&s, 3),
+        is_n_recording(&s, 2)
+    );
+}

@@ -1,0 +1,67 @@
+//! Synthesis hunt for DFFR'22's `X_n` profile: a readable type that is
+//! n-discerning, (n−2)-recording and not (n−1)-recording (experiment E6).
+//!
+//! Usage: `xn_hunt [n] [budget-per-seed] [num-random-seeds]`
+//!
+//! Seeds the hill climb both from the structured `TeamCounter` family
+//! (already at distance 1 from the profile: its recording number is n−1
+//! instead of n−2) and from random readable tables. On success the winning
+//! table is printed as JSON for embedding.
+
+use rcn_decide::synthesis::{
+    hill_climb, random_readable_table, rng, TargetProfile,
+};
+use rcn_spec::zoo::TeamCounter;
+use rcn_spec::TableType;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let n: usize = args.get(1).map_or(4, |s| s.parse().expect("n"));
+    let budget: usize = args.get(2).map_or(20_000, |s| s.parse().expect("budget"));
+    let seeds: usize = args.get(3).map_or(8, |s| s.parse().expect("seeds"));
+    let profile = TargetProfile::xn(n);
+    println!(
+        "hunting X_{n}: readable, discerning={}, recording={}",
+        profile.discerning, profile.recording
+    );
+
+    // Structured seed: the TeamCounter table.
+    let tc = TableType::from_type(&TeamCounter::new(n));
+    println!("team-counter seed distance: {}", profile.distance(&tc));
+    for seed in 0..seeds as u64 {
+        let mut r = rng(seed);
+        let out = hill_climb(&mut r, tc.clone(), profile, budget);
+        println!(
+            "seed {seed} (team-counter start): distance={} after {} evals",
+            out.distance, out.evaluations
+        );
+        if out.distance == 0 {
+            report_success(n, &out.best, &profile);
+            return;
+        }
+    }
+    // Random seeds over a few dimension choices.
+    for &(values, mutators) in &[(2 * n, 2), (2 * n, 3), (2 * n + 2, 3)] {
+        for seed in 100..(100 + seeds as u64) {
+            let mut r = rng(seed * 31 + values as u64);
+            let start = random_readable_table(&mut r, values, mutators);
+            let out = hill_climb(&mut r, start, profile, budget);
+            println!(
+                "seed {seed} ({values}v/{mutators}m random): distance={} after {} evals",
+                out.distance, out.evaluations
+            );
+            if out.distance == 0 {
+                report_success(n, &out.best, &profile);
+                return;
+            }
+        }
+    }
+    println!("no X_{n} candidate found within budget");
+}
+
+fn report_success(n: usize, table: &TableType, profile: &TargetProfile) {
+    let class = profile.classify(table).expect("distance 0 means it matches");
+    println!("FOUND X_{n} candidate!");
+    println!("classification: {}", class.row());
+    println!("{}", serde_json::to_string(table).expect("tables serialize"));
+}

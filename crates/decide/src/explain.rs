@@ -1,0 +1,200 @@
+//! Human-readable explanations of witnesses: *why* a type is (or is not)
+//! n-discerning / n-recording, with the `U_x` and `R_{x,j}` sets spelled
+//! out in the type's own value and response names.
+//!
+//! Used by the `repro` driver and handy in the REPL when exploring a new
+//! type; the rendered sets are recomputed from the definition via
+//! [`crate::brute`], so an explanation doubles as an independent check of
+//! the fast decider.
+
+use crate::brute::{r_set, u_set};
+use crate::recording::check_recording;
+use crate::discerning::check_discerning;
+use crate::witness::{Team, Witness};
+use rcn_spec::{ObjectType, Response, ValueId};
+use std::fmt::Write as _;
+
+fn value_list<T: ObjectType + ?Sized>(ty: &T, mut ids: Vec<usize>) -> String {
+    ids.sort_unstable();
+    let names: Vec<String> = ids
+        .into_iter()
+        .map(|v| ty.value_name(ValueId(v as u16)))
+        .collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+fn pair_list<T: ObjectType + ?Sized>(ty: &T, mut pairs: Vec<(usize, usize)>) -> String {
+    pairs.sort_unstable();
+    let names: Vec<String> = pairs
+        .into_iter()
+        .map(|(r, v)| {
+            format!(
+                "({}, {})",
+                ty.response_name(Response(r as u16)),
+                ty.value_name(ValueId(v as u16))
+            )
+        })
+        .collect();
+    format!("{{{}}}", names.join(", "))
+}
+
+/// Renders the recording analysis of a witness: the `U_0` / `U_1` sets,
+/// whether they are disjoint, and how the hiding clause resolves.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_decide::{explain_recording, Team, Witness};
+/// use rcn_spec::{zoo::TestAndSet, OpId, ValueId};
+///
+/// let w = Witness::new(
+///     ValueId::new(0),
+///     vec![Team::T0, Team::T1],
+///     vec![OpId::new(0), OpId::new(0)],
+/// );
+/// let text = explain_recording(&TestAndSet::new(), &w);
+/// assert!(text.contains("U_0"));
+/// assert!(text.contains("NOT 2-recording"));
+/// ```
+pub fn explain_recording<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> String {
+    let mut out = String::new();
+    let n = witness.n();
+    let _ = writeln!(out, "recording analysis of {} for n = {n}:", ty.name());
+    let _ = writeln!(out, "  witness: {}", witness.describe(ty));
+    let u0 = u_set(ty, witness, Team::T0);
+    let u1 = u_set(ty, witness, Team::T1);
+    let _ = writeln!(out, "  U_0 = {}", value_list(ty, u0.iter().copied().collect()));
+    let _ = writeln!(out, "  U_1 = {}", value_list(ty, u1.iter().copied().collect()));
+    let inter: Vec<usize> = u0.intersection(&u1).copied().collect();
+    if !inter.is_empty() {
+        let _ = writeln!(
+            out,
+            "  U_0 ∩ U_1 = {} ≠ ∅ — the value cannot record the first team",
+            value_list(ty, inter)
+        );
+    } else {
+        let _ = writeln!(out, "  U_0 ∩ U_1 = ∅ ✓");
+        let u = witness.initial.index();
+        for (x, set, other) in [(0, &u0, Team::T1), (1, &u1, Team::T0)] {
+            if set.contains(&u) {
+                let size = witness.team_members(other).len();
+                let _ = writeln!(
+                    out,
+                    "  u ∈ U_{x} (team {x} can hide) — needs |T_{}| = 1, have {size}",
+                    1 - x,
+                );
+            }
+        }
+    }
+    let verdict = check_recording(ty, witness) == Ok(true);
+    let _ = writeln!(
+        out,
+        "  ⇒ witness {} {n}-recording",
+        if verdict { "establishes" } else { "does NOT establish" }
+    );
+    if !verdict {
+        let _ = write!(out, "  (NOT {n}-recording via this witness)");
+    }
+    out
+}
+
+/// Renders the discerning analysis of a witness: per-process
+/// `R_{0,j}` / `R_{1,j}` sets and their disjointness.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_decide::{explain_discerning, Team, Witness};
+/// use rcn_spec::{zoo::TestAndSet, OpId, ValueId};
+///
+/// let w = Witness::new(
+///     ValueId::new(0),
+///     vec![Team::T0, Team::T1],
+///     vec![OpId::new(0), OpId::new(0)],
+/// );
+/// let text = explain_discerning(&TestAndSet::new(), &w);
+/// assert!(text.contains("R_{0,0}"));
+/// assert!(text.contains("establishes"));
+/// ```
+pub fn explain_discerning<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> String {
+    let mut out = String::new();
+    let n = witness.n();
+    let _ = writeln!(out, "discerning analysis of {} for n = {n}:", ty.name());
+    let _ = writeln!(out, "  witness: {}", witness.describe(ty));
+    let mut all_disjoint = true;
+    for j in 0..n {
+        let r0 = r_set(ty, witness, Team::T0, j);
+        let r1 = r_set(ty, witness, Team::T1, j);
+        let inter: Vec<(usize, usize)> = r0.intersection(&r1).copied().collect();
+        let _ = writeln!(out, "  R_{{0,{j}}} = {}", pair_list(ty, r0.iter().copied().collect()));
+        let _ = writeln!(out, "  R_{{1,{j}}} = {}", pair_list(ty, r1.iter().copied().collect()));
+        if inter.is_empty() {
+            let _ = writeln!(out, "    disjoint ✓");
+        } else {
+            all_disjoint = false;
+            let _ = writeln!(out, "    collide at {}", pair_list(ty, inter));
+        }
+    }
+    debug_assert_eq!(Ok(all_disjoint), check_discerning(ty, witness));
+    let _ = writeln!(
+        out,
+        "  ⇒ witness {} {n}-discerning",
+        if all_disjoint { "establishes" } else { "does NOT establish" }
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_spec::zoo::{StickyBit, TestAndSet};
+    use rcn_spec::OpId;
+
+    fn tas_witness() -> Witness {
+        Witness::new(
+            ValueId::new(0),
+            vec![Team::T0, Team::T1],
+            vec![OpId::new(0), OpId::new(0)],
+        )
+    }
+
+    #[test]
+    fn tas_discerning_explanation_shows_disjoint_pairs() {
+        let text = explain_discerning(&TestAndSet::new(), &tas_witness());
+        assert!(text.contains("establishes 2-discerning"), "{text}");
+        assert!(text.contains("disjoint ✓"));
+        // The winner's response 0 shows up in the rendered pairs.
+        assert!(text.contains("(0, set)"));
+    }
+
+    #[test]
+    fn tas_recording_explanation_shows_the_collision() {
+        let text = explain_recording(&TestAndSet::new(), &tas_witness());
+        assert!(text.contains("NOT 2-recording"), "{text}");
+        assert!(text.contains("U_0 ∩ U_1"));
+        assert!(text.contains("set"), "collision at the `set` value: {text}");
+    }
+
+    #[test]
+    fn sticky_recording_explanation_is_positive() {
+        let w = Witness::new(
+            ValueId::new(0),
+            vec![Team::T0, Team::T1],
+            vec![OpId::new(0), OpId::new(1)],
+        );
+        let text = explain_recording(&StickyBit::new(), &w);
+        assert!(text.contains("establishes 2-recording"), "{text}");
+        assert!(text.contains("stuck-0"));
+        assert!(text.contains("stuck-1"));
+    }
+
+    #[test]
+    fn explanations_use_type_names_not_ids() {
+        let text = explain_recording(&StickyBit::new(), &Witness::new(
+            ValueId::new(0),
+            vec![Team::T0, Team::T1],
+            vec![OpId::new(0), OpId::new(1)],
+        ));
+        assert!(!text.contains("v0"), "should use value names: {text}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Adversaries: schedulers that decide which process steps or crashes next.
+//!
+//! Paper, §2: *"An execution is produced by an adversary, who decides which
+//! process will take the next step in each configuration. The adversary
+//! also decides if and when processes crash."*
+//!
+//! The crash-injecting adversaries here respect the paper's `E_z*` budgets
+//! via [`BudgetTracker`], so the executions they produce are exactly the
+//! kind quantified over in the §3 valency argument.
+
+use crate::budget::{BudgetTracker, CrashBudget};
+use crate::schedule::{Event, ProcessId, Schedule};
+use crate::system::{Configuration, System, Violation};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A scheduler: picks the next event given the current configuration.
+pub trait Adversary {
+    /// Returns the next event, or `None` to stop the execution.
+    ///
+    /// The adversary may consult the configuration (a *strong* adversary in
+    /// the literature's terms — it sees everything).
+    fn next_event(&mut self, system: &System, config: &Configuration) -> Option<Event>;
+}
+
+fn is_output_state(system: &System, config: &Configuration, p: ProcessId) -> bool {
+    matches!(
+        system.action_of(config, p),
+        crate::program::Action::Output(_)
+    )
+}
+
+/// Steps processes round-robin and never crashes anyone. Stops once every
+/// process has decided.
+#[derive(Debug, Clone, Default)]
+pub struct RoundRobin {
+    cursor: usize,
+}
+
+impl RoundRobin {
+    /// Creates a round-robin scheduler starting at `p_0`.
+    pub fn new() -> Self {
+        RoundRobin { cursor: 0 }
+    }
+}
+
+impl Adversary for RoundRobin {
+    fn next_event(&mut self, system: &System, config: &Configuration) -> Option<Event> {
+        let n = system.n();
+        for off in 0..n {
+            let i = (self.cursor + off) % n;
+            let p = ProcessId(i as u16);
+            if config.decided[i].is_none() && !is_output_state(system, config, p) {
+                self.cursor = (i + 1) % n;
+                return Some(Event::Step(p));
+            }
+        }
+        None
+    }
+}
+
+/// A seeded random adversary that injects crashes within an `E_z*` budget.
+///
+/// Each event targets a uniformly random undecided process; with probability
+/// `crash_prob` the adversary attempts a crash, which is downgraded to a
+/// step whenever the budget would be violated (so every produced execution
+/// is in `E_z*`).
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::{CrashBudget, CrashyAdversary};
+/// let adv = CrashyAdversary::new(42, 0.25, CrashBudget::new(1, 3));
+/// # let _ = adv;
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrashyAdversary {
+    rng: StdRng,
+    crash_prob: f64,
+    tracker: BudgetTracker,
+}
+
+impl CrashyAdversary {
+    /// Creates the adversary with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `crash_prob` is not in `[0, 1]`.
+    pub fn new(seed: u64, crash_prob: f64, budget: CrashBudget) -> Self {
+        assert!((0.0..=1.0).contains(&crash_prob), "crash_prob must be a probability");
+        CrashyAdversary {
+            rng: StdRng::seed_from_u64(seed),
+            crash_prob,
+            tracker: BudgetTracker::new(budget),
+        }
+    }
+}
+
+impl Adversary for CrashyAdversary {
+    fn next_event(&mut self, system: &System, config: &Configuration) -> Option<Event> {
+        let undecided: Vec<ProcessId> = (0..system.n())
+            .map(|i| ProcessId(i as u16))
+            .filter(|&p| {
+                config.decided[p.index()].is_none() && !is_output_state(system, config, p)
+            })
+            .collect();
+        if undecided.is_empty() {
+            return None;
+        }
+        let target = undecided[self.rng.gen_range(0..undecided.len())];
+        let crash = Event::Crash(target);
+        let event = if self.rng.gen_bool(self.crash_prob) && self.tracker.would_admit(crash) {
+            crash
+        } else {
+            Event::Step(target)
+        };
+        self.tracker.record(event);
+        Some(event)
+    }
+}
+
+/// The result of [`drive`]-ing a system under an adversary.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DriveReport {
+    /// The schedule that was executed.
+    pub schedule: Schedule,
+    /// The final configuration.
+    pub config: Configuration,
+    /// The first safety violation, if any.
+    pub violation: Option<Violation>,
+    /// Whether every process decided before `max_events` ran out.
+    pub all_decided: bool,
+}
+
+impl DriveReport {
+    /// Returns `true` if the run finished with every process decided on a
+    /// single common value and no violation.
+    pub fn is_clean_consensus(&self) -> bool {
+        self.all_decided && self.violation.is_none() && self.config.outputs().len() == 1
+    }
+}
+
+/// Drives `system` under `adversary` for at most `max_events` events,
+/// stopping early on a violation or when the adversary yields `None`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::{drive, HeapLayout, OutputInput, RoundRobin, System};
+/// use std::sync::Arc;
+///
+/// let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![1, 1]);
+/// let report = drive(&sys, &mut RoundRobin::new(), 100);
+/// assert!(report.all_decided);
+/// ```
+pub fn drive(system: &System, adversary: &mut dyn Adversary, max_events: usize) -> DriveReport {
+    let mut config = system.initial_config();
+    let mut schedule = Schedule::new();
+    let mut violation = None;
+    for _ in 0..max_events {
+        if config.all_decided() {
+            break;
+        }
+        let Some(event) = adversary.next_event(system, &config) else {
+            break;
+        };
+        schedule.push(event);
+        let effect = system.apply(&mut config, event);
+        if effect.violation.is_some() {
+            violation = effect.violation;
+            break;
+        }
+    }
+    // Sweep up decisions for processes sitting in an output state that they
+    // reached without a transition (e.g. initial output states).
+    for i in 0..system.n() {
+        let p = ProcessId(i as u16);
+        if config.decided[i].is_none() {
+            if let crate::program::Action::Output(v) = system.action_of(&config, p) {
+                config.decided[i] = Some(v);
+            }
+        }
+    }
+    let all_decided = config.all_decided();
+    DriveReport {
+        schedule,
+        config,
+        violation,
+        all_decided,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapLayout;
+    use crate::program::OutputInput;
+    use std::sync::Arc;
+
+    fn trivial(inputs: Vec<u32>) -> System {
+        System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), inputs)
+    }
+
+    /// Reads a register `rounds` times, then outputs the input.
+    struct Spinner {
+        rounds: u32,
+        reg: crate::heap::ObjectId,
+    }
+
+    impl crate::program::Program for Spinner {
+        fn name(&self) -> String {
+            "spinner".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> crate::program::LocalState {
+            crate::program::LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &crate::program::LocalState) -> crate::program::Action {
+            if state.word(1) >= self.rounds {
+                crate::program::Action::Output(state.word(0))
+            } else {
+                crate::program::Action::Invoke {
+                    object: self.reg,
+                    op: rcn_spec::OpId::new(2), // read op of a binary register
+                }
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &crate::program::LocalState,
+            _response: rcn_spec::Response,
+        ) -> crate::program::LocalState {
+            crate::program::LocalState::word2(state.word(0), state.word(1) + 1)
+        }
+    }
+
+    fn spinning(inputs: Vec<u32>, rounds: u32) -> System {
+        let mut layout = HeapLayout::new();
+        let reg = layout.add_object(
+            "R",
+            Arc::new(rcn_spec::zoo::Register::new(2)),
+            rcn_spec::ValueId::new(0),
+        );
+        System::new(Arc::new(Spinner { rounds, reg }), Arc::new(layout), inputs)
+    }
+
+    #[test]
+    fn round_robin_decides_trivial_program() {
+        let sys = trivial(vec![1, 1, 1]);
+        let report = drive(&sys, &mut RoundRobin::new(), 100);
+        assert!(report.all_decided);
+        assert!(report.is_clean_consensus());
+    }
+
+    #[test]
+    fn crashy_adversary_respects_budget() {
+        let sys = trivial(vec![0, 1]);
+        let budget = CrashBudget::new(1, 2);
+        let mut adv = CrashyAdversary::new(7, 0.9, budget);
+        let mut config = sys.initial_config();
+        let mut schedule = Schedule::new();
+        for _ in 0..200 {
+            let Some(event) = adv.next_event(&sys, &config) else {
+                break;
+            };
+            schedule.push(event);
+            sys.apply(&mut config, event);
+        }
+        assert!(budget.admits_prefix_closed(&schedule), "schedule: {schedule}");
+    }
+
+    #[test]
+    fn crashy_adversary_is_deterministic_per_seed() {
+        let sys = spinning(vec![0, 0, 0], 10);
+        let budget = CrashBudget::new(1, 3);
+        let run = |seed| {
+            let mut adv = CrashyAdversary::new(seed, 0.3, budget);
+            let mut config = sys.initial_config();
+            let mut schedule = Schedule::new();
+            for _ in 0..50 {
+                match adv.next_event(&sys, &config) {
+                    Some(e) => {
+                        schedule.push(e);
+                        sys.apply(&mut config, e);
+                    }
+                    None => break,
+                }
+            }
+            schedule
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn crash_prob_is_validated() {
+        CrashyAdversary::new(0, 1.5, CrashBudget::new(1, 2));
+    }
+
+    #[test]
+    fn drive_reports_disagreement_outputs() {
+        // Different inputs: OutputInput "decides" differently; drive sweeps
+        // up the output states, and the report shows two outputs.
+        let sys = trivial(vec![0, 1]);
+        let report = drive(&sys, &mut RoundRobin::new(), 10);
+        assert_eq!(report.config.outputs(), vec![0, 1]);
+        assert!(!report.is_clean_consensus());
+    }
+}

@@ -1,0 +1,239 @@
+//! Executions as first-class values.
+//!
+//! Paper, §2: *"An execution consists of an alternating sequence of
+//! configurations and events."* [`Execution`] records exactly that — the
+//! initial configuration, then each event with the configuration it leads
+//! to — and implements the paper's indistinguishability relation between
+//! executions: two executions are indistinguishable to a set of processes
+//! `Q` if their starting configurations agree on `Q` and on all object
+//! values, they contain only events by `Q`, and their schedules coincide.
+
+use crate::schedule::{Event, ProcessId, Schedule};
+use crate::system::{Configuration, StepEffect, System, Violation};
+use std::fmt;
+
+/// A recorded execution: `C_0, e_1, C_1, e_2, …, C_k`.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    initial: Configuration,
+    steps: Vec<(Event, StepEffect, Configuration)>,
+}
+
+impl Execution {
+    /// Records the execution of `schedule` from the system's initial
+    /// configuration.
+    pub fn record(system: &System, schedule: &Schedule) -> Execution {
+        Self::record_from(system, system.initial_config(), schedule)
+    }
+
+    /// Records the execution of `schedule` from an explicit starting
+    /// configuration.
+    pub fn record_from(
+        system: &System,
+        initial: Configuration,
+        schedule: &Schedule,
+    ) -> Execution {
+        let mut config = initial.clone();
+        let mut steps = Vec::with_capacity(schedule.len());
+        for event in schedule.iter() {
+            let effect = system.apply(&mut config, event);
+            steps.push((event, effect, config.clone()));
+        }
+        Execution { initial, steps }
+    }
+
+    /// The starting configuration.
+    pub fn initial(&self) -> &Configuration {
+        &self.initial
+    }
+
+    /// The final configuration (the starting one if the execution is
+    /// empty).
+    pub fn final_config(&self) -> &Configuration {
+        self.steps.last().map_or(&self.initial, |(_, _, c)| c)
+    }
+
+    /// The schedule of the execution (paper, §2: the sequence of processes
+    /// that take steps and crashes that occur).
+    pub fn schedule(&self) -> Schedule {
+        self.steps.iter().map(|(e, _, _)| *e).collect()
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Returns `true` if the execution contains no events.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Iterates over `(event, effect, configuration-after)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = &(Event, StepEffect, Configuration)> {
+        self.steps.iter()
+    }
+
+    /// The first safety violation in the execution, if any.
+    pub fn first_violation(&self) -> Option<Violation> {
+        self.steps.iter().find_map(|(_, eff, _)| eff.violation)
+    }
+
+    /// All outputs made during the execution, in order.
+    pub fn outputs(&self) -> Vec<(ProcessId, u32)> {
+        self.steps.iter().filter_map(|(_, eff, _)| eff.output).collect()
+    }
+
+    /// Returns `true` if every event belongs to a process in `procs`.
+    pub fn only_by(&self, procs: &[ProcessId]) -> bool {
+        self.steps
+            .iter()
+            .all(|(e, _, _)| procs.contains(&e.process()))
+    }
+
+    /// The paper's indistinguishability relation on executions, for the
+    /// process set `procs`: equal starting states on `procs`, equal object
+    /// values at the start, only events by `procs`, and identical
+    /// schedules.
+    ///
+    /// By the standard argument (paper §2, citing Attiya–Ellen), two
+    /// indistinguishable executions also agree on every later state of
+    /// `procs` and on the values of the objects they access — which this
+    /// method double-checks on the recorded data.
+    pub fn indistinguishable_to(&self, other: &Execution, procs: &[ProcessId]) -> bool {
+        if !self.initial.indistinguishable_to(&other.initial, procs)
+            || !self.initial.objects_equal(&other.initial)
+            || !self.only_by(procs)
+            || !other.only_by(procs)
+            || self.schedule() != other.schedule()
+        {
+            return false;
+        }
+        // Consequence check: per-step agreement on the processes' states.
+        self.steps
+            .iter()
+            .zip(&other.steps)
+            .all(|((_, _, c1), (_, _, c2))| c1.indistinguishable_to(c2, procs))
+    }
+}
+
+impl fmt::Display for Execution {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "  {}", self.initial)?;
+        for (event, effect, config) in &self.steps {
+            write!(f, "{event}")?;
+            if let Some((p, v)) = effect.output {
+                write!(f, " [{p} outputs {v}]")?;
+            }
+            if let Some(violation) = effect.violation {
+                write!(f, " [!! {violation}]")?;
+            }
+            writeln!(f, "\n  {config}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::heap::HeapLayout;
+    use crate::program::{Action, LocalState, Program};
+    use rcn_spec::zoo::Register;
+    use std::sync::Arc;
+
+    /// Writes its input, then outputs it.
+    struct WriteOnce {
+        reg: crate::heap::ObjectId,
+    }
+
+    impl Program for WriteOnce {
+        fn name(&self) -> String {
+            "write-once".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            if state.word(1) == 0 {
+                Action::Invoke {
+                    object: self.reg,
+                    op: rcn_spec::OpId::new(state.word(0) as u16),
+                }
+            } else {
+                Action::Output(state.word(0))
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            _response: rcn_spec::Response,
+        ) -> LocalState {
+            LocalState::word2(state.word(0), 1)
+        }
+    }
+
+    fn sys(inputs: Vec<u32>) -> System {
+        let mut layout = HeapLayout::new();
+        let reg = layout.add_object("R", Arc::new(Register::new(2)), rcn_spec::ValueId::new(0));
+        System::new(Arc::new(WriteOnce { reg }), Arc::new(layout), inputs)
+    }
+
+    #[test]
+    fn record_matches_run() {
+        let system = sys(vec![0, 1]);
+        let sched: Schedule = "p0 p1 p0 c1 p1".parse().unwrap();
+        let exec = Execution::record(&system, &sched);
+        let (config, _) = system.run_from_start(&sched);
+        assert_eq!(exec.final_config(), &config);
+        assert_eq!(exec.schedule(), sched);
+        assert_eq!(exec.len(), 5);
+    }
+
+    #[test]
+    fn outputs_are_collected_in_order() {
+        let system = sys(vec![1, 0]);
+        let sched: Schedule = "p0 p0 p1 p1".parse().unwrap();
+        let exec = Execution::record(&system, &sched);
+        assert_eq!(
+            exec.outputs(),
+            vec![(ProcessId::new(0), 1), (ProcessId::new(1), 0)]
+        );
+        assert!(exec.first_violation().is_some(), "0 vs 1 disagreement");
+    }
+
+    #[test]
+    fn solo_executions_by_same_state_processes_are_indistinguishable() {
+        // Two systems whose p1 has the same input: p1-solo executions from
+        // their initial configurations are indistinguishable to {p1}.
+        let sys_a = sys(vec![0, 1]);
+        let sys_b = sys(vec![1, 1]); // p0 differs, p1 agrees
+        let sched: Schedule = "p1 p1".parse().unwrap();
+        let ea = Execution::record(&sys_a, &sched);
+        let eb = Execution::record(&sys_b, &sched);
+        assert!(ea.indistinguishable_to(&eb, &[ProcessId::new(1)]));
+        // … but not to {p0} (different inputs) nor with events outside Q.
+        assert!(!ea.indistinguishable_to(&eb, &[ProcessId::new(0)]));
+        let with_p0: Schedule = "p1 p0".parse().unwrap();
+        let ec = Execution::record(&sys_a, &with_p0);
+        assert!(!ec.indistinguishable_to(&ea, &[ProcessId::new(1)]));
+    }
+
+    #[test]
+    fn empty_execution_is_its_initial_configuration() {
+        let system = sys(vec![0]);
+        let exec = Execution::record(&system, &Schedule::new());
+        assert!(exec.is_empty());
+        assert_eq!(exec.final_config(), exec.initial());
+    }
+
+    #[test]
+    fn display_shows_events_and_outputs() {
+        let system = sys(vec![1, 1]);
+        let sched: Schedule = "p0 p0".parse().unwrap();
+        let exec = Execution::record(&system, &sched);
+        let text = exec.to_string();
+        assert!(text.contains("p0 [p0 outputs 1]"));
+    }
+}

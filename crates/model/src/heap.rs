@@ -1,0 +1,209 @@
+//! The shared-object heap: a set of typed objects with initial values.
+//!
+//! Algorithms in the paper use objects of the types under study *"along with
+//! registers"*; a [`HeapLayout`] holds any mix of both. The layout (types +
+//! initial values) is immutable; the mutable part of a configuration is just
+//! the vector of current values.
+
+use rcn_spec::{ObjectType, OpId, Outcome, ValueId};
+use std::fmt;
+use std::sync::Arc;
+
+/// Index of an object in a [`HeapLayout`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ObjectId(pub u16);
+
+impl ObjectId {
+    /// Creates an object id.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        ObjectId(index)
+    }
+
+    /// Returns the dense index as a `usize`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ObjectId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "obj{}", self.0)
+    }
+}
+
+struct Slot {
+    name: String,
+    ty: Arc<dyn ObjectType + Send + Sync>,
+    initial: ValueId,
+}
+
+/// The immutable layout of a shared-object heap: each object's type, name
+/// and initial value.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::HeapLayout;
+/// use rcn_spec::{zoo::{Register, TestAndSet}, ValueId};
+/// use std::sync::Arc;
+///
+/// let mut layout = HeapLayout::new();
+/// let tas = layout.add_object("T", Arc::new(TestAndSet::new()), ValueId::new(0));
+/// let reg = layout.add_object("R0", Arc::new(Register::new(2)), ValueId::new(0));
+/// assert_eq!(layout.len(), 2);
+/// assert_eq!(layout.name(tas), "T");
+/// let mut values = layout.initial_values();
+/// let out = layout.apply(&mut values, tas, rcn_spec::OpId::new(0));
+/// assert_eq!(out.response.index(), 0);
+/// # let _ = reg;
+/// ```
+#[derive(Default)]
+pub struct HeapLayout {
+    slots: Vec<Slot>,
+}
+
+impl HeapLayout {
+    /// Creates an empty layout.
+    pub fn new() -> Self {
+        HeapLayout { slots: Vec::new() }
+    }
+
+    /// Adds an object of the given type with the given initial value,
+    /// returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `initial` is out of range for the type.
+    pub fn add_object(
+        &mut self,
+        name: impl Into<String>,
+        ty: Arc<dyn ObjectType + Send + Sync>,
+        initial: ValueId,
+    ) -> ObjectId {
+        assert!(
+            initial.index() < ty.num_values(),
+            "initial value {initial} out of range for {}",
+            ty.name()
+        );
+        let id = ObjectId(self.slots.len() as u16);
+        self.slots.push(Slot {
+            name: name.into(),
+            ty,
+            initial,
+        });
+        id
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Returns `true` if the layout has no objects.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The type of an object.
+    pub fn object_type(&self, id: ObjectId) -> &(dyn ObjectType + Send + Sync) {
+        &*self.slots[id.index()].ty
+    }
+
+    /// The name an object was registered under.
+    pub fn name(&self, id: ObjectId) -> &str {
+        &self.slots[id.index()].name
+    }
+
+    /// The initial value of an object.
+    pub fn initial(&self, id: ObjectId) -> ValueId {
+        self.slots[id.index()].initial
+    }
+
+    /// The vector of initial values (the heap part of an initial
+    /// configuration).
+    pub fn initial_values(&self) -> Vec<ValueId> {
+        self.slots.iter().map(|s| s.initial).collect()
+    }
+
+    /// Applies `op` to object `id` in the mutable value vector `values`,
+    /// returning the outcome.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` has the wrong length.
+    pub fn apply(&self, values: &mut [ValueId], id: ObjectId, op: OpId) -> Outcome {
+        assert_eq!(values.len(), self.slots.len(), "heap value vector mismatch");
+        let slot = &self.slots[id.index()];
+        let out = slot.ty.apply(values[id.index()], op);
+        values[id.index()] = out.next;
+        out
+    }
+
+    /// Iterates over all object ids.
+    pub fn object_ids(&self) -> impl Iterator<Item = ObjectId> {
+        (0..self.slots.len()).map(|i| ObjectId(i as u16))
+    }
+}
+
+impl fmt::Debug for HeapLayout {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_struct("HeapLayout");
+        for (i, slot) in self.slots.iter().enumerate() {
+            d.field(
+                &format!("obj{i}"),
+                &format!("{} : {} = {}", slot.name, slot.ty.name(), slot.ty.value_name(slot.initial)),
+            );
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_spec::zoo::{Register, TestAndSet};
+
+    fn layout() -> (HeapLayout, ObjectId, ObjectId) {
+        let mut l = HeapLayout::new();
+        let a = l.add_object("T", Arc::new(TestAndSet::new()), ValueId::new(0));
+        let b = l.add_object("R", Arc::new(Register::new(3)), ValueId::new(1));
+        (l, a, b)
+    }
+
+    #[test]
+    fn layout_records_metadata() {
+        let (l, a, b) = layout();
+        assert_eq!(l.len(), 2);
+        assert_eq!(l.name(a), "T");
+        assert_eq!(l.initial(b), ValueId::new(1));
+        assert_eq!(l.object_type(a).name(), "test-and-set");
+        assert_eq!(l.initial_values(), vec![ValueId::new(0), ValueId::new(1)]);
+    }
+
+    #[test]
+    fn apply_mutates_only_the_target() {
+        let (l, a, b) = layout();
+        let mut values = l.initial_values();
+        let out = l.apply(&mut values, a, OpId::new(0));
+        assert_eq!(out.response.index(), 0);
+        assert_eq!(values[a.index()], ValueId::new(1));
+        assert_eq!(values[b.index()], ValueId::new(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_initial_value_is_rejected() {
+        let mut l = HeapLayout::new();
+        l.add_object("T", Arc::new(TestAndSet::new()), ValueId::new(7));
+    }
+
+    #[test]
+    fn debug_render_mentions_objects() {
+        let (l, _, _) = layout();
+        let text = format!("{l:?}");
+        assert!(text.contains("test-and-set"));
+        assert!(text.contains("register"));
+    }
+}

@@ -1,0 +1,334 @@
+//! Processes, events and schedules.
+//!
+//! Paper, §2: *"A schedule is a sequence of processes and crashes. We use
+//! `c_i` to denote a crash by process `p_i`."* Steps are written `p_i`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// A process identifier `p_i`.
+///
+/// Identifiers matter in this model: the crash budgets of
+/// [`crate::budget::CrashBudget`] give processes with *smaller* identifiers
+/// higher priority (they are allowed to crash less often), which is the key
+/// idea of the paper's valency argument (§3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ProcessId(pub u16);
+
+impl ProcessId {
+    /// Creates a process id.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        ProcessId(index)
+    }
+
+    /// Returns the identifier as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl From<u16> for ProcessId {
+    fn from(index: u16) -> Self {
+        ProcessId(index)
+    }
+}
+
+/// One event of an execution: a step or a crash of some process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Event {
+    /// `p_i` takes its next step (applies an operation, or a no-op if it has
+    /// already output a value).
+    Step(ProcessId),
+    /// `c_i`: process `p_i` crashes and is reset to its initial state.
+    Crash(ProcessId),
+}
+
+impl Event {
+    /// The process this event belongs to.
+    pub fn process(self) -> ProcessId {
+        match self {
+            Event::Step(p) | Event::Crash(p) => p,
+        }
+    }
+
+    /// Returns `true` if this is a crash event.
+    pub fn is_crash(self) -> bool {
+        matches!(self, Event::Crash(_))
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Event::Step(p) => write!(f, "p{}", p.0),
+            Event::Crash(p) => write!(f, "c{}", p.0),
+        }
+    }
+}
+
+/// A schedule: a finite sequence of steps and crashes.
+///
+/// Schedules compose with `extend`/`push` and render in the paper's
+/// notation, e.g. `p0 p1 c1 p0`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::{Event, ProcessId, Schedule};
+/// let sched: Schedule = "p0 p1 c1 p0".parse().unwrap();
+/// assert_eq!(sched.len(), 4);
+/// assert_eq!(sched[2], Event::Crash(ProcessId::new(1)));
+/// assert_eq!(sched.to_string(), "p0 p1 c1 p0");
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schedule(Vec<Event>);
+
+impl Schedule {
+    /// Creates an empty schedule (`⟨⟩` in the paper's notation).
+    pub fn new() -> Self {
+        Schedule(Vec::new())
+    }
+
+    /// Creates a schedule from a list of events.
+    pub fn from_events(events: impl IntoIterator<Item = Event>) -> Self {
+        Schedule(events.into_iter().collect())
+    }
+
+    /// A schedule consisting of single steps of the given processes.
+    pub fn of_steps(pids: impl IntoIterator<Item = ProcessId>) -> Self {
+        Schedule(pids.into_iter().map(Event::Step).collect())
+    }
+
+    /// The paper's `λ_k` schedule: `c_k c_{k+1} … c_{n-1}` — every process
+    /// with identifier at least `k` crashes once, in identifier order.
+    pub fn lambda(k: usize, n: usize) -> Self {
+        Schedule((k..n).map(|i| Event::Crash(ProcessId(i as u16))).collect())
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: Event) {
+        self.0.push(event);
+    }
+
+    /// Appends all events of another schedule.
+    pub fn extend(&mut self, other: &Schedule) {
+        self.0.extend_from_slice(&other.0);
+    }
+
+    /// Concatenates two schedules.
+    #[must_use]
+    pub fn concat(&self, other: &Schedule) -> Schedule {
+        let mut out = self.clone();
+        out.extend(other);
+        out
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the schedule has no events.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Iterates over the events.
+    pub fn iter(&self) -> impl Iterator<Item = Event> + '_ {
+        self.0.iter().copied()
+    }
+
+    /// The events as a slice.
+    pub fn events(&self) -> &[Event] {
+        &self.0
+    }
+
+    /// Number of step events by process `p`.
+    pub fn steps_of(&self, p: ProcessId) -> usize {
+        self.0
+            .iter()
+            .filter(|e| matches!(e, Event::Step(q) if *q == p))
+            .count()
+    }
+
+    /// Number of crash events by process `p`.
+    pub fn crashes_of(&self, p: ProcessId) -> usize {
+        self.0
+            .iter()
+            .filter(|e| matches!(e, Event::Crash(q) if *q == p))
+            .count()
+    }
+
+    /// Returns `true` if the schedule contains any event of process `p`.
+    pub fn contains_process(&self, p: ProcessId) -> bool {
+        self.0.iter().any(|e| e.process() == p)
+    }
+
+    /// Returns `true` if the schedule contains no crash events.
+    pub fn is_crash_free(&self) -> bool {
+        !self.0.iter().any(|e| e.is_crash())
+    }
+}
+
+impl std::ops::Index<usize> for Schedule {
+    type Output = Event;
+
+    fn index(&self, i: usize) -> &Event {
+        &self.0[i]
+    }
+}
+
+impl FromIterator<Event> for Schedule {
+    fn from_iter<I: IntoIterator<Item = Event>>(iter: I) -> Self {
+        Schedule(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Event> for Schedule {
+    fn extend<I: IntoIterator<Item = Event>>(&mut self, iter: I) {
+        self.0.extend(iter);
+    }
+}
+
+impl IntoIterator for Schedule {
+    type Item = Event;
+    type IntoIter = std::vec::IntoIter<Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a Schedule {
+    type Item = &'a Event;
+    type IntoIter = std::slice::Iter<'a, Event>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl fmt::Display for Schedule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return write!(f, "⟨⟩");
+        }
+        let parts: Vec<String> = self.0.iter().map(ToString::to_string).collect();
+        write!(f, "{}", parts.join(" "))
+    }
+}
+
+/// Error parsing a [`Schedule`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseScheduleError {
+    token: String,
+}
+
+impl fmt::Display for ParseScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid schedule token `{}`", self.token)
+    }
+}
+
+impl std::error::Error for ParseScheduleError {}
+
+impl FromStr for Schedule {
+    type Err = ParseScheduleError;
+
+    /// Parses the paper's notation: whitespace-separated `p<i>` (step) and
+    /// `c<i>` (crash) tokens; `⟨⟩` or an empty string is the empty schedule.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let s = s.trim();
+        if s.is_empty() || s == "⟨⟩" {
+            return Ok(Schedule::new());
+        }
+        let mut events = Vec::new();
+        for token in s.split_whitespace() {
+            let err = || ParseScheduleError {
+                token: token.to_string(),
+            };
+            let (kind, rest) = token.split_at(1);
+            let id: u16 = rest.parse().map_err(|_| err())?;
+            match kind {
+                "p" => events.push(Event::Step(ProcessId(id))),
+                "c" => events.push(Event::Crash(ProcessId(id))),
+                _ => return Err(err()),
+            }
+        }
+        Ok(Schedule(events))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        let text = "p0 p1 c1 p0 c2";
+        let sched: Schedule = text.parse().unwrap();
+        assert_eq!(sched.to_string(), text);
+        assert_eq!(sched.len(), 5);
+    }
+
+    #[test]
+    fn empty_schedule_renders_brackets() {
+        let sched = Schedule::new();
+        assert_eq!(sched.to_string(), "⟨⟩");
+        assert_eq!("⟨⟩".parse::<Schedule>().unwrap(), sched);
+        assert_eq!("".parse::<Schedule>().unwrap(), sched);
+    }
+
+    #[test]
+    fn invalid_tokens_are_rejected() {
+        assert!("x0".parse::<Schedule>().is_err());
+        assert!("p".parse::<Schedule>().is_err());
+        assert!("pq".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn lambda_matches_paper_definition() {
+        // λ_k = c_k c_{k+1} … c_{n-1}
+        let l = Schedule::lambda(2, 5);
+        assert_eq!(l.to_string(), "c2 c3 c4");
+        assert!(Schedule::lambda(5, 5).is_empty());
+    }
+
+    #[test]
+    fn counting_helpers() {
+        let sched: Schedule = "p0 p1 c1 p1 c1 p0".parse().unwrap();
+        assert_eq!(sched.steps_of(ProcessId(0)), 2);
+        assert_eq!(sched.steps_of(ProcessId(1)), 2);
+        assert_eq!(sched.crashes_of(ProcessId(1)), 2);
+        assert_eq!(sched.crashes_of(ProcessId(0)), 0);
+        assert!(sched.contains_process(ProcessId(1)));
+        assert!(!sched.contains_process(ProcessId(2)));
+        assert!(!sched.is_crash_free());
+        assert!("p0 p1".parse::<Schedule>().unwrap().is_crash_free());
+    }
+
+    #[test]
+    fn concat_and_extend_agree() {
+        let a: Schedule = "p0 p1".parse().unwrap();
+        let b: Schedule = "c1 p0".parse().unwrap();
+        let mut c = a.clone();
+        c.extend(&b);
+        assert_eq!(a.concat(&b), c);
+        assert_eq!(c.to_string(), "p0 p1 c1 p0");
+    }
+
+    #[test]
+    fn schedule_collects_from_iterator() {
+        let sched: Schedule = (0..3).map(|i| Event::Step(ProcessId(i))).collect();
+        assert_eq!(sched.to_string(), "p0 p1 p2");
+    }
+}

@@ -1,0 +1,153 @@
+//! Enumeration of the schedule sets `S(P′)` of §2.
+//!
+//! Paper, §2: *"For all `P′ ⊆ {p_0,…,p_{n−1}}`, define `S(P′)` as the set of
+//! schedules that contain at most one instance of every process in `P′`."*
+//! For instance `S({p_0, p_2}) = {⟨⟩, p0, p2, p0 p2, p2 p0}`.
+//!
+//! These are the (crash-free) schedules over which the *n-discerning* and
+//! *n-recording* conditions quantify. Their number is
+//! `Σ_k k! · C(|P′|, k)`, which is manageable for the process counts the
+//! deciders handle (`n ≤ 8` or so); callers that only need reachability use
+//! the BFS in `rcn-decide` instead of full enumeration.
+
+use crate::schedule::{ProcessId, Schedule};
+
+/// Enumerates every schedule in `S(P′)`: all sequences of *distinct*
+/// processes from `procs`, including the empty one.
+///
+/// The order is: by length, then lexicographically by choice order.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::{s_p, ProcessId};
+/// let procs = [ProcessId::new(0), ProcessId::new(2)];
+/// let schedules = s_p(&procs);
+/// let shown: Vec<String> = schedules.iter().map(|s| s.to_string()).collect();
+/// assert_eq!(shown, vec!["⟨⟩", "p0", "p2", "p0 p2", "p2 p0"]);
+/// ```
+pub fn s_p(procs: &[ProcessId]) -> Vec<Schedule> {
+    let mut out = Vec::with_capacity(s_p_len(procs.len()));
+    let mut current = Vec::new();
+    let mut used = vec![false; procs.len()];
+    out.push(Schedule::new());
+    for len in 1..=procs.len() {
+        enumerate_rec(procs, len, &mut current, &mut used, &mut out);
+    }
+    out
+}
+
+fn enumerate_rec(
+    procs: &[ProcessId],
+    len: usize,
+    current: &mut Vec<ProcessId>,
+    used: &mut [bool],
+    out: &mut Vec<Schedule>,
+) {
+    if current.len() == len {
+        out.push(Schedule::of_steps(current.iter().copied()));
+        return;
+    }
+    for i in 0..procs.len() {
+        if !used[i] {
+            used[i] = true;
+            current.push(procs[i]);
+            enumerate_rec(procs, len, current, used, out);
+            current.pop();
+            used[i] = false;
+        }
+    }
+}
+
+/// The size of `S(P′)` for `|P′| = k`: `Σ_{j=0}^{k} k!/(k−j)!`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::s_p_len;
+/// assert_eq!(s_p_len(2), 5); // the paper's S({p_0, p_2}) example
+/// assert_eq!(s_p_len(3), 16);
+/// ```
+pub fn s_p_len(k: usize) -> usize {
+    let mut total = 1usize; // the empty schedule
+    let mut falling = 1usize;
+    for j in 1..=k {
+        falling *= k + 1 - j;
+        total += falling;
+    }
+    total
+}
+
+/// Enumerates the *nonempty* schedules in `S(P′)` that begin with a process
+/// from `first_team`.
+///
+/// This is the quantification inside the `U_x` sets of the *n-recording*
+/// definition: schedules whose first process is on team `x`.
+pub fn s_p_first_in(procs: &[ProcessId], first_team: &[ProcessId]) -> Vec<Schedule> {
+    s_p(procs)
+        .into_iter()
+        .filter(|s| {
+            s.events()
+                .first()
+                .is_some_and(|e| first_team.contains(&e.process()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pids(ids: &[u16]) -> Vec<ProcessId> {
+        ids.iter().map(|&i| ProcessId(i)).collect()
+    }
+
+    #[test]
+    fn matches_paper_example() {
+        let schedules = s_p(&pids(&[0, 2]));
+        let shown: Vec<String> = schedules.iter().map(ToString::to_string).collect();
+        assert_eq!(shown, vec!["⟨⟩", "p0", "p2", "p0 p2", "p2 p0"]);
+    }
+
+    #[test]
+    fn sizes_match_formula() {
+        for k in 0..6 {
+            let procs = pids(&(0..k as u16).collect::<Vec<_>>());
+            assert_eq!(s_p(&procs).len(), s_p_len(k), "k={k}");
+        }
+        assert_eq!(s_p_len(0), 1);
+        assert_eq!(s_p_len(5), 326);
+        assert_eq!(s_p_len(6), 1957);
+    }
+
+    #[test]
+    fn schedules_have_distinct_processes() {
+        for s in s_p(&pids(&[0, 1, 2, 3])) {
+            let mut seen = std::collections::HashSet::new();
+            for e in s.iter() {
+                assert!(seen.insert(e.process()), "duplicate in {s}");
+                assert!(!e.is_crash());
+            }
+        }
+    }
+
+    #[test]
+    fn first_in_filters_on_first_process() {
+        let procs = pids(&[0, 1, 2]);
+        let team = pids(&[1]);
+        let filtered = s_p_first_in(&procs, &team);
+        assert!(!filtered.is_empty());
+        for s in &filtered {
+            assert_eq!(s.events()[0].process(), ProcessId(1));
+        }
+        // Complement check: p1-first schedules of 3 processes = 1 + 2 + 2 = 5.
+        assert_eq!(filtered.len(), 5);
+    }
+
+    #[test]
+    fn no_schedules_are_duplicated() {
+        let all = s_p(&pids(&[0, 1, 2, 3]));
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+    }
+}

@@ -1,0 +1,41 @@
+//! # rcn-protocols — consensus protocols from the paper
+//!
+//! Executable implementations (as [`rcn_model::Program`] state machines) of:
+//!
+//! * [`TnnWaitFree`] — §4's wait-free n-process consensus from one
+//!   `T_{n,n'}` object;
+//! * [`TnnRecoverable`] — §4's recoverable wait-free n'-process consensus
+//!   (`op_R` first, then `op_x`);
+//! * [`TasConsensus`] — the classic 2-process test-and-set consensus
+//!   baseline that Golab proved unrecoverable;
+//! * [`TournamentConsensus`] — recoverable consensus from any readable type
+//!   with non-hiding recording witnesses (our verified variant of the
+//!   DFFR'22 Theorem 8 direction), built automatically from decider
+//!   witnesses.
+//!
+//! Every protocol builds a complete [`rcn_model::System`] ready for the
+//! `rcn-valency` model checker or the `rcn-runtime` threaded executor.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcn_protocols::TnnRecoverable;
+//! use rcn_model::{drive, CrashBudget, CrashyAdversary};
+//!
+//! // The paper's recoverable algorithm on T_{5,2}, 2 processes, crashes on.
+//! let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+//! let mut adv = CrashyAdversary::new(42, 0.3, CrashBudget::new(1, 2));
+//! let report = drive(&sys, &mut adv, 10_000);
+//! assert!(report.is_clean_consensus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod tas;
+mod tnn;
+mod tournament;
+
+pub use tas::TasConsensus;
+pub use tnn::{TnnRecoverable, TnnWaitFree};
+pub use tournament::{PlanError, TournamentConsensus};

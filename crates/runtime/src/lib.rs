@@ -1,0 +1,33 @@
+//! # rcn-runtime — threaded execution over simulated non-volatile memory
+//!
+//! Runs protocol [`Program`](rcn_model::Program)s on real OS threads:
+//!
+//! * [`NvHeap`] — a lock-per-object shared heap playing the role of
+//!   non-volatile main memory (it survives simulated process crashes);
+//! * [`run_threaded`] — one thread per process, per-process seeded crash
+//!   injection (a crash discards the worker's volatile state, exactly the
+//!   paper's crash semantics), plus dynamic agreement/validity checking.
+//!
+//! This complements the exhaustive `rcn-valency` checker: the checker is
+//! exact but explicit-state; the runtime exercises true parallelism, large
+//! process counts, and timing-dependent interleavings.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcn_protocols::TnnRecoverable;
+//! use rcn_runtime::{run_threaded, RunOptions};
+//!
+//! let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+//! let report = run_threaded(&sys, RunOptions { seed: 1, ..Default::default() });
+//! assert!(report.is_clean_consensus());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod nvheap;
+mod runner;
+
+pub use nvheap::NvHeap;
+pub use runner::{run_threaded, ProcessStats, RunOptions, RunReport};

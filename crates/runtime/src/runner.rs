@@ -1,0 +1,280 @@
+//! The threaded runner: executes a protocol's processes on OS threads over
+//! an [`NvHeap`](crate::NvHeap), injecting crashes.
+//!
+//! A crash destroys exactly what the paper's model says it destroys: the
+//! process's volatile local state (here, the worker's program-state
+//! variable, rebuilt from `Program::initial_state`), while the shared heap
+//! persists. Crash points are chosen by a per-process seeded RNG before
+//! each step, with a per-process crash cap so runs terminate (recoverable
+//! wait-freedom only promises progress to processes that eventually stop
+//! crashing).
+//!
+//! The runner checks agreement and validity on the decisions it collects —
+//! a cheap dynamic complement to the exhaustive `rcn-valency` checker,
+//! useful at thread counts and interleavings the explicit-state checker
+//! cannot reach.
+
+use crate::nvheap::NvHeap;
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rcn_model::{Action, Event, ProcessId, Schedule, System};
+use std::fmt;
+use std::sync::Arc;
+
+/// Configuration for a threaded run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// RNG seed (crash points and micro-delays derive from it).
+    pub seed: u64,
+    /// Probability of crashing before any given step.
+    pub crash_prob: f64,
+    /// Maximum crashes per process (so the run terminates).
+    pub max_crashes: usize,
+    /// Safety valve: maximum steps per process (0 disables the check).
+    pub max_steps: usize,
+    /// Inject random sub-microsecond spin delays to shake interleavings.
+    pub jitter: bool,
+    /// Record a global linearized event trace (serializes all object
+    /// accesses through one lock — for cross-validation, not throughput).
+    pub record_trace: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            seed: 0,
+            crash_prob: 0.05,
+            max_crashes: 5,
+            max_steps: 100_000,
+            jitter: true,
+            record_trace: false,
+        }
+    }
+}
+
+/// Per-process statistics of a run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProcessStats {
+    /// Steps (operation applications) taken, across all incarnations.
+    pub steps: usize,
+    /// Crashes suffered.
+    pub crashes: usize,
+    /// The decision, if the process decided.
+    pub decision: Option<u32>,
+}
+
+/// The result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Per-process statistics.
+    pub processes: Vec<ProcessStats>,
+    /// Whether all processes decided.
+    pub all_decided: bool,
+    /// Agreement check: at most one distinct decision.
+    pub agreement: bool,
+    /// Validity check: every decision is some process's input.
+    pub validity: bool,
+    /// The linearized global trace, when requested via
+    /// [`RunOptions::record_trace`]. Replaying it through the abstract
+    /// executor reproduces the run exactly (see the cross-validation
+    /// tests).
+    pub trace: Option<Schedule>,
+}
+
+impl RunReport {
+    /// Returns `true` if the run decided unanimously on a valid value.
+    pub fn is_clean_consensus(&self) -> bool {
+        self.all_decided && self.agreement && self.validity
+    }
+
+    /// Total steps across processes.
+    pub fn total_steps(&self) -> usize {
+        self.processes.iter().map(|p| p.steps).sum()
+    }
+
+    /// Total crashes across processes.
+    pub fn total_crashes(&self) -> usize {
+        self.processes.iter().map(|p| p.crashes).sum()
+    }
+}
+
+impl fmt::Display for RunReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "decided={} agreement={} validity={} steps={} crashes={}",
+            self.all_decided,
+            self.agreement,
+            self.validity,
+            self.total_steps(),
+            self.total_crashes()
+        )
+    }
+}
+
+/// Runs the system's program on one OS thread per process over a fresh
+/// [`NvHeap`], injecting crashes per `options`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_protocols::TnnRecoverable;
+/// use rcn_runtime::{run_threaded, RunOptions};
+///
+/// let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+/// let report = run_threaded(&sys, RunOptions { seed: 7, ..Default::default() });
+/// assert!(report.is_clean_consensus());
+/// ```
+pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
+    let heap = Arc::new(NvHeap::new(system.layout_arc()));
+    let stats: Vec<Mutex<ProcessStats>> = (0..system.n())
+        .map(|_| Mutex::new(ProcessStats::default()))
+        .collect();
+    let trace: Option<Mutex<Vec<Event>>> = options.record_trace.then(|| Mutex::new(Vec::new()));
+
+    crossbeam::scope(|scope| {
+        for i in 0..system.n() {
+            let heap = Arc::clone(&heap);
+            let stats = &stats;
+            let system = &system;
+            let trace = trace.as_ref();
+            scope.spawn(move |_| {
+                run_worker(system, &heap, ProcessId(i as u16), options, &stats[i], trace);
+            });
+        }
+    })
+    .expect("worker threads join");
+
+    let processes: Vec<ProcessStats> = stats.into_iter().map(|m| m.into_inner()).collect();
+    let decisions: Vec<u32> = processes.iter().filter_map(|p| p.decision).collect();
+    let mut distinct = decisions.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    RunReport {
+        all_decided: processes.iter().all(|p| p.decision.is_some()),
+        agreement: distinct.len() <= 1,
+        validity: decisions.iter().all(|d| system.inputs().contains(d)),
+        processes,
+        trace: trace.map(|t| Schedule::from_events(t.into_inner())),
+    }
+}
+
+fn run_worker(
+    system: &System,
+    heap: &NvHeap,
+    pid: ProcessId,
+    options: RunOptions,
+    stats: &Mutex<ProcessStats>,
+    trace: Option<&Mutex<Vec<Event>>>,
+) {
+    let program = system.program();
+    let input = system.inputs()[pid.index()];
+    let mut rng = StdRng::seed_from_u64(options.seed ^ (0x9e37_79b9 * (pid.index() as u64 + 1)));
+    let mut state = program.initial_state(pid, input);
+    let mut crashes = 0usize;
+    let mut steps = 0usize;
+    loop {
+        if options.max_steps > 0 && steps > options.max_steps {
+            // Liveness bug guard: give up rather than hang the test suite.
+            break;
+        }
+        // Crash injection: lose the volatile state, keep the heap.
+        if crashes < options.max_crashes && rng.gen_bool(options.crash_prob) {
+            crashes += 1;
+            state = program.initial_state(pid, input);
+            if let Some(trace) = trace {
+                trace.lock().push(Event::Crash(pid));
+            }
+            continue;
+        }
+        match program.action(pid, &state) {
+            Action::Output(v) => {
+                let mut s = stats.lock();
+                s.steps = steps;
+                s.crashes = crashes;
+                s.decision = Some(v);
+                return;
+            }
+            Action::Invoke { object, op } => {
+                if options.jitter && rng.gen_bool(0.2) {
+                    std::thread::yield_now();
+                }
+                let out = match trace {
+                    // Tracing serializes the access with its log entry so
+                    // the recorded order is a true linearization.
+                    Some(trace) => {
+                        let mut log = trace.lock();
+                        let out = heap.apply(object, op);
+                        log.push(Event::Step(pid));
+                        out
+                    }
+                    None => heap.apply(object, op),
+                };
+                state = program.transition(pid, &state, out.response);
+                steps += 1;
+            }
+        }
+    }
+    let mut s = stats.lock();
+    s.steps = steps;
+    s.crashes = crashes;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_protocols::{TnnRecoverable, TournamentConsensus};
+    use rcn_spec::zoo::StickyBit;
+
+    #[test]
+    fn tnn_recoverable_runs_clean_across_seeds() {
+        let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+        for seed in 0..10 {
+            let report = run_threaded(
+                &sys,
+                RunOptions {
+                    seed,
+                    crash_prob: 0.2,
+                    max_crashes: 4,
+                    ..Default::default()
+                },
+            );
+            assert!(report.is_clean_consensus(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn tournament_runs_clean_with_many_threads() {
+        let inputs: Vec<u32> = (0..6).map(|i| i % 2).collect();
+        let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), inputs).unwrap();
+        for seed in 0..5 {
+            let report = run_threaded(
+                &sys,
+                RunOptions {
+                    seed,
+                    crash_prob: 0.1,
+                    max_crashes: 3,
+                    ..Default::default()
+                },
+            );
+            assert!(report.is_clean_consensus(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn stats_account_steps_and_crashes() {
+        let sys = TnnRecoverable::system(4, 2, vec![0, 1]);
+        let report = run_threaded(
+            &sys,
+            RunOptions {
+                seed: 3,
+                crash_prob: 0.3,
+                max_crashes: 5,
+                ..Default::default()
+            },
+        );
+        assert!(report.total_steps() >= 2, "{report}");
+        assert!(report.processes.len() == 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Graphviz DOT export of type state machines.
+//!
+//! Regenerates Figure 3 of the paper (the state-machine diagram of
+//! `T_{5,2}`): values are nodes, operations are labelled edges. Edges that
+//! share source and target are merged into a single multi-labelled edge to
+//! keep the render readable, exactly like the figure groups
+//! `op_0, op_1` transitions.
+
+use crate::ids::{OpId, ValueId};
+use crate::object_type::ObjectType;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a type's state machine in Graphviz DOT format.
+///
+/// Self-loop edges can be suppressed (the paper's Figure 3 omits the
+/// absorbing `s_⊥` self-loops and read self-loops for clarity).
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::Tnn, dot::to_dot};
+/// let dot = to_dot(&Tnn::new(5, 2), false);
+/// assert!(dot.contains("digraph"));
+/// assert!(dot.contains("s_(0,1)"));
+/// ```
+pub fn to_dot<T: ObjectType + ?Sized>(ty: &T, include_self_loops: bool) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", ty.name());
+    let _ = writeln!(out, "  rankdir=LR;");
+    let _ = writeln!(out, "  node [shape=ellipse];");
+    for v in 0..ty.num_values() {
+        let v = ValueId(v as u16);
+        let _ = writeln!(out, "  v{} [label=\"{}\"];", v.0, escape(&ty.value_name(v)));
+    }
+    // Merge parallel edges: (source, target) -> list of "op/response" labels.
+    let mut edges: BTreeMap<(u16, u16), Vec<String>> = BTreeMap::new();
+    for v in 0..ty.num_values() {
+        let value = ValueId(v as u16);
+        for op in 0..ty.num_ops() {
+            let op = OpId(op as u16);
+            let outcome = ty.apply(value, op);
+            if outcome.next == value && !include_self_loops {
+                continue;
+            }
+            edges
+                .entry((value.0, outcome.next.0))
+                .or_default()
+                .push(format!(
+                    "{}/{}",
+                    ty.op_name(op),
+                    ty.response_name(outcome.response)
+                ));
+        }
+    }
+    for ((src, dst), labels) in edges {
+        let _ = writeln!(
+            out,
+            "  v{src} -> v{dst} [label=\"{}\"];",
+            escape(&labels.join("\\n"))
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Renders the full transition table of a type as aligned plain text.
+///
+/// Useful in `repro` reports: one row per value, one column per operation,
+/// each cell showing `response → next value`.
+pub fn to_table_text<T: ObjectType + ?Sized>(ty: &T) -> String {
+    let headers: Vec<String> = (0..ty.num_ops())
+        .map(|op| ty.op_name(OpId(op as u16)))
+        .collect();
+    let mut rows = Vec::with_capacity(ty.num_values());
+    for v in 0..ty.num_values() {
+        let value = ValueId(v as u16);
+        let mut row = vec![ty.value_name(value)];
+        for op in 0..ty.num_ops() {
+            let out = ty.apply(value, OpId(op as u16));
+            row.push(format!(
+                "{} → {}",
+                ty.response_name(out.response),
+                ty.value_name(out.next)
+            ));
+        }
+        rows.push(row);
+    }
+    // Column widths (character counts; good enough for ASCII-ish names).
+    let ncols = headers.len() + 1;
+    let mut widths = vec![0usize; ncols];
+    widths[0] = "value".chars().count();
+    for (i, h) in headers.iter().enumerate() {
+        widths[i + 1] = h.chars().count();
+    }
+    for row in &rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.chars().count());
+        }
+    }
+    let render_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            let pad = widths[i] - cell.chars().count();
+            let _ = write!(line, "{}{}  ", cell, " ".repeat(pad));
+        }
+        line.trim_end().to_string()
+    };
+    let mut all = Vec::with_capacity(rows.len() + 1);
+    let mut head = vec!["value".to_string()];
+    head.extend(headers);
+    all.push(render_row(&head));
+    for row in &rows {
+        all.push(render_row(row));
+    }
+    all.join("\n")
+}
+
+fn escape(s: &str) -> String {
+    s.replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zoo::{TestAndSet, Tnn};
+
+    #[test]
+    fn dot_contains_all_values() {
+        let t = Tnn::new(5, 2);
+        let dot = to_dot(&t, false);
+        for v in 0..t.num_values() {
+            let name = t.value_name(ValueId(v as u16));
+            assert!(dot.contains(&name), "missing value {name}");
+        }
+    }
+
+    #[test]
+    fn dot_merges_parallel_edges() {
+        let t = Tnn::new(5, 2);
+        let dot = to_dot(&t, false);
+        // op_0 and op_1 both take s_(0,1) to s_(0,2): one edge, two labels.
+        let v_from = t.s_xi(0, 1).0;
+        let v_to = t.s_xi(0, 2).0;
+        let needle = format!("v{v_from} -> v{v_to}");
+        assert_eq!(dot.matches(&needle).count(), 1);
+        let line = dot.lines().find(|l| l.contains(&needle)).unwrap();
+        assert!(line.contains("op_0/0"));
+        assert!(line.contains("op_1/0"));
+    }
+
+    #[test]
+    fn self_loops_are_optional() {
+        let tas = TestAndSet::new();
+        let without = to_dot(&tas, false);
+        let with = to_dot(&tas, true);
+        assert!(with.len() > without.len());
+        assert!(with.contains("v1 -> v1"));
+        assert!(!without.contains("v1 -> v1"));
+    }
+
+    #[test]
+    fn table_text_has_row_per_value() {
+        let t = Tnn::new(3, 1);
+        let table = to_table_text(&t);
+        let lines: Vec<_> = table.lines().collect();
+        assert_eq!(lines.len(), 1 + t.num_values());
+        assert!(lines[0].starts_with("value"));
+        assert!(table.contains("s_⊥"));
+    }
+}

@@ -1,0 +1,207 @@
+//! Small index newtypes shared by every crate in the workspace.
+//!
+//! A deterministic type (paper, §2) has finite sets of values, operations and
+//! responses. We index all three by dense small integers so that deciders and
+//! model checkers can use them directly as array indices and bitset members.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Index of a value in an [`ObjectType`](crate::ObjectType)'s value set.
+///
+/// Values are dense: a type with `k` values uses ids `0..k`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::ValueId;
+/// let v = ValueId::new(3);
+/// assert_eq!(v.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ValueId(pub u16);
+
+impl ValueId {
+    /// Creates a value id from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        ValueId(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ValueId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+impl From<u16> for ValueId {
+    fn from(index: u16) -> Self {
+        ValueId(index)
+    }
+}
+
+/// Index of an operation in an [`ObjectType`](crate::ObjectType)'s operation set.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::OpId;
+/// let op = OpId::new(0);
+/// assert_eq!(op.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct OpId(pub u16);
+
+impl OpId {
+    /// Creates an operation id from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        OpId(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for OpId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "op{}", self.0)
+    }
+}
+
+impl From<u16> for OpId {
+    fn from(index: u16) -> Self {
+        OpId(index)
+    }
+}
+
+/// Index of a response in an [`ObjectType`](crate::ObjectType)'s response set.
+///
+/// Responses are what operations return; two operations may share response
+/// ids (e.g. both `op_0` and `op_1` of the paper's `T_{n,n'}` can return `⊥`).
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::Response;
+/// let r = Response::new(1);
+/// assert_eq!(r.index(), 1);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Response(pub u16);
+
+impl Response {
+    /// Creates a response id from a dense index.
+    #[inline]
+    pub const fn new(index: u16) -> Self {
+        Response(index)
+    }
+
+    /// Returns the dense index as a `usize`, suitable for array indexing.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Response {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl From<u16> for Response {
+    fn from(index: u16) -> Self {
+        Response(index)
+    }
+}
+
+/// The result of applying one operation to one value: the response returned
+/// to the caller and the resulting value of the object.
+///
+/// Because every type in this workspace is deterministic (paper, §2), an
+/// `Outcome` is a pure function of `(value, operation)`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{Outcome, Response, ValueId};
+/// let out = Outcome::new(Response::new(0), ValueId::new(2));
+/// assert_eq!(out.response, Response::new(0));
+/// assert_eq!(out.next, ValueId::new(2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Outcome {
+    /// The response the operation returns.
+    pub response: Response,
+    /// The value of the object after the operation.
+    pub next: ValueId,
+}
+
+impl Outcome {
+    /// Creates an outcome from a response and a resulting value.
+    #[inline]
+    pub const fn new(response: Response, next: ValueId) -> Self {
+        Outcome { response, next }
+    }
+}
+
+impl fmt::Display for Outcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({} -> {})", self.response, self.next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_id_roundtrip() {
+        let v = ValueId::new(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(ValueId::from(7u16), v);
+        assert_eq!(v.to_string(), "v7");
+    }
+
+    #[test]
+    fn op_id_roundtrip() {
+        let op = OpId::new(2);
+        assert_eq!(op.index(), 2);
+        assert_eq!(OpId::from(2u16), op);
+        assert_eq!(op.to_string(), "op2");
+    }
+
+    #[test]
+    fn response_roundtrip() {
+        let r = Response::new(5);
+        assert_eq!(r.index(), 5);
+        assert_eq!(Response::from(5u16), r);
+        assert_eq!(r.to_string(), "r5");
+    }
+
+    #[test]
+    fn outcome_display_mentions_both_parts() {
+        let out = Outcome::new(Response::new(1), ValueId::new(4));
+        let shown = out.to_string();
+        assert!(shown.contains("r1"));
+        assert!(shown.contains("v4"));
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ValueId::new(1) < ValueId::new(2));
+        assert!(OpId::new(0) < OpId::new(9));
+        assert!(Response::new(3) < Response::new(4));
+    }
+}

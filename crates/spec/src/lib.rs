@@ -1,0 +1,45 @@
+//! # rcn-spec — deterministic sequential object-type specifications
+//!
+//! This crate is the foundation of the `rcn` workspace, a reproduction of
+//! *"Determining Recoverable Consensus Numbers"* (Sean Ovens, PODC 2024).
+//! It provides:
+//!
+//! * the [`ObjectType`] trait — a deterministic sequential specification
+//!   exactly in the sense of §2 of the paper: finite values, finite
+//!   operations, and a pure `apply(value, op) → (response, value)` function;
+//! * [`TableType`] — the explicit-table normal form every finite type can be
+//!   converted to, with validation and serde support;
+//! * the [`zoo`] — concrete types used in the experiments, including the
+//!   paper's `T_{n,n'}` family ([`zoo::Tnn`], §4 of the paper);
+//! * [`dot`] — Graphviz export that regenerates Figure 3 of the paper.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcn_spec::{zoo::Tnn, ObjectType};
+//!
+//! // Figure 3 of the paper is the state machine of T_{5,2}.
+//! let t = Tnn::new(5, 2);
+//! assert_eq!(t.num_values(), 10);
+//!
+//! // The first op_x applied to the initial value records x …
+//! let first = t.apply(t.s(), t.op_x(1));
+//! assert_eq!(first.response.index(), 1);
+//! // … and every one of the next n−1 operations reports it.
+//! let second = t.apply(first.next, t.op_x(0));
+//! assert_eq!(second.response.index(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ids;
+mod object_type;
+mod table;
+
+pub mod dot;
+pub mod zoo;
+
+pub use ids::{OpId, Outcome, Response, ValueId};
+pub use object_type::{apply_all, check_closed, ObjectType};
+pub use table::{TableType, TableTypeBuilder, TypeSpecError};

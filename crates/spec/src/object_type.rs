@@ -1,0 +1,265 @@
+//! The [`ObjectType`] trait: a deterministic sequential specification.
+//!
+//! Paper, §2: *"Each object has a type, which defines a set of values, a set
+//! of operations that can be applied to an object of the type, and a set of
+//! responses that these operations can return. Every type has a sequential
+//! specification that defines, for each value `v` and each operation `op` of
+//! the type, the response to that operation and a resulting value."*
+//!
+//! All types in this workspace are deterministic: `apply` is a pure function.
+
+use crate::ids::{OpId, Outcome, Response, ValueId};
+
+/// A deterministic, finite sequential object-type specification.
+///
+/// Implementors must guarantee:
+///
+/// * `apply(v, op)` is total for all `v < num_values()`, `op < num_ops()`;
+/// * `apply` is a pure function (determinism, paper §2);
+/// * the returned [`Outcome`] stays in range (`next < num_values()`,
+///   `response < num_responses()`).
+///
+/// The blanket helpers ([`is_read_op`](ObjectType::is_read_op),
+/// [`read_op`](ObjectType::read_op), [`is_readable`](ObjectType::is_readable))
+/// detect readability per the paper's definition: a type is *readable* if it
+/// supports an operation that returns the current value of the object without
+/// changing it. "Returns the current value" is formalized as: the operation
+/// never changes the value, and its response function is injective on values
+/// (distinct values produce distinct responses), so the response identifies
+/// the value exactly.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::Register, ObjectType, OpId, ValueId};
+/// let reg = Register::new(2);
+/// // Register over {0,1}: ops are write(0), write(1), read.
+/// let read = reg.read_op().expect("registers are readable");
+/// let out = reg.apply(ValueId::new(1), read);
+/// assert_eq!(out.next, ValueId::new(1)); // read leaves the value unchanged
+/// ```
+pub trait ObjectType {
+    /// A short human-readable name for the type (e.g. `"test-and-set"`).
+    fn name(&self) -> String;
+
+    /// Number of values of the type. Value ids range over `0..num_values()`.
+    fn num_values(&self) -> usize;
+
+    /// Number of operations of the type. Op ids range over `0..num_ops()`.
+    fn num_ops(&self) -> usize;
+
+    /// Number of distinct responses. Response ids range over
+    /// `0..num_responses()`.
+    fn num_responses(&self) -> usize;
+
+    /// The sequential specification: applying `op` to an object with value
+    /// `value` yields a response and a resulting value.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `value` or `op` is out of range.
+    fn apply(&self, value: ValueId, op: OpId) -> Outcome;
+
+    /// Human-readable name of a value (used in DOT output and reports).
+    fn value_name(&self, value: ValueId) -> String {
+        format!("v{}", value.0)
+    }
+
+    /// Human-readable name of an operation.
+    fn op_name(&self, op: OpId) -> String {
+        format!("op{}", op.0)
+    }
+
+    /// Human-readable name of a response.
+    fn response_name(&self, response: Response) -> String {
+        format!("r{}", response.0)
+    }
+
+    /// Returns `true` if `op` is a *read* operation: it never changes the
+    /// value, and its responses distinguish every pair of values.
+    fn is_read_op(&self, op: OpId) -> bool {
+        let n = self.num_values();
+        let mut seen = vec![false; self.num_responses()];
+        for v in 0..n {
+            let out = self.apply(ValueId(v as u16), op);
+            if out.next.index() != v {
+                return false;
+            }
+            let r = out.response.index();
+            if seen[r] {
+                // Two values map to the same response: not injective.
+                return false;
+            }
+            seen[r] = true;
+        }
+        true
+    }
+
+    /// Returns the first read operation of the type, if any.
+    fn read_op(&self) -> Option<OpId> {
+        (0..self.num_ops())
+            .map(|i| OpId(i as u16))
+            .find(|&op| self.is_read_op(op))
+    }
+
+    /// Returns `true` if the type is readable (supports a read operation).
+    fn is_readable(&self) -> bool {
+        self.read_op().is_some()
+    }
+
+    /// Iterates over all value ids of the type.
+    fn values(&self) -> Box<dyn Iterator<Item = ValueId>> {
+        let n = self.num_values();
+        Box::new((0..n).map(|i| ValueId(i as u16)))
+    }
+
+    /// Iterates over all operation ids of the type.
+    fn ops(&self) -> Box<dyn Iterator<Item = OpId>> {
+        let n = self.num_ops();
+        Box::new((0..n).map(|i| OpId(i as u16)))
+    }
+}
+
+/// Checks the structural well-formedness of a specification: every
+/// `(value, op)` pair must produce an in-range [`Outcome`].
+///
+/// Returns the offending `(value, op)` pair on failure.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::TestAndSet, check_closed};
+/// assert!(check_closed(&TestAndSet::new()).is_ok());
+/// ```
+pub fn check_closed<T: ObjectType + ?Sized>(ty: &T) -> Result<(), (ValueId, OpId)> {
+    for v in 0..ty.num_values() {
+        for op in 0..ty.num_ops() {
+            let value = ValueId(v as u16);
+            let op = OpId(op as u16);
+            let out = ty.apply(value, op);
+            if out.next.index() >= ty.num_values() || out.response.index() >= ty.num_responses() {
+                return Err((value, op));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Applies a sequence of operations starting from `initial`, returning the
+/// per-step outcomes and the final value.
+///
+/// This is the "schedule application" used throughout the paper's
+/// definitions of *n-discerning* and *n-recording*: the processes in a
+/// schedule apply their operations in order on an object with a given
+/// initial value.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::TestAndSet, apply_all, OpId, ValueId};
+/// let tas = TestAndSet::new();
+/// let (outs, v) = apply_all(&tas, ValueId::new(0), &[OpId::new(0), OpId::new(0)]);
+/// assert_eq!(outs.len(), 2);
+/// assert_eq!(v, ValueId::new(1)); // set after the first test-and-set
+/// ```
+pub fn apply_all<T: ObjectType + ?Sized>(
+    ty: &T,
+    initial: ValueId,
+    ops: &[OpId],
+) -> (Vec<Outcome>, ValueId) {
+    let mut value = initial;
+    let mut outcomes = Vec::with_capacity(ops.len());
+    for &op in ops {
+        let out = ty.apply(value, op);
+        outcomes.push(out);
+        value = out.next;
+    }
+    (outcomes, value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-value type whose only op flips the value and reports the old one.
+    struct Flipper;
+
+    impl ObjectType for Flipper {
+        fn name(&self) -> String {
+            "flipper".into()
+        }
+        fn num_values(&self) -> usize {
+            2
+        }
+        fn num_ops(&self) -> usize {
+            1
+        }
+        fn num_responses(&self) -> usize {
+            2
+        }
+        fn apply(&self, value: ValueId, _op: OpId) -> Outcome {
+            Outcome::new(Response(value.0), ValueId(1 - value.0))
+        }
+    }
+
+    #[test]
+    fn flipper_is_closed_but_not_readable() {
+        assert!(check_closed(&Flipper).is_ok());
+        assert!(!Flipper.is_readable());
+        assert_eq!(Flipper.read_op(), None);
+    }
+
+    #[test]
+    fn apply_all_tracks_value_evolution() {
+        let ops = [OpId(0), OpId(0), OpId(0)];
+        let (outs, v) = apply_all(&Flipper, ValueId(0), &ops);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(v, ValueId(1));
+        assert_eq!(outs[0].response, Response(0));
+        assert_eq!(outs[1].response, Response(1));
+        assert_eq!(outs[2].response, Response(0));
+    }
+
+    #[test]
+    fn apply_all_empty_sequence_is_identity() {
+        let (outs, v) = apply_all(&Flipper, ValueId(1), &[]);
+        assert!(outs.is_empty());
+        assert_eq!(v, ValueId(1));
+    }
+
+    #[test]
+    fn values_and_ops_iterators_cover_ranges() {
+        let vals: Vec<_> = Flipper.values().collect();
+        assert_eq!(vals, vec![ValueId(0), ValueId(1)]);
+        let ops: Vec<_> = Flipper.ops().collect();
+        assert_eq!(ops, vec![OpId(0)]);
+    }
+
+    /// A read op must be injective on responses, not merely non-mutating.
+    struct ConstantProbe;
+
+    impl ObjectType for ConstantProbe {
+        fn name(&self) -> String {
+            "constant-probe".into()
+        }
+        fn num_values(&self) -> usize {
+            2
+        }
+        fn num_ops(&self) -> usize {
+            1
+        }
+        fn num_responses(&self) -> usize {
+            1
+        }
+        fn apply(&self, value: ValueId, _op: OpId) -> Outcome {
+            // Leaves the value alone but always answers 0: not a read.
+            Outcome::new(Response(0), value)
+        }
+    }
+
+    #[test]
+    fn non_injective_probe_is_not_a_read() {
+        assert!(!ConstantProbe.is_read_op(OpId(0)));
+        assert!(!ConstantProbe.is_readable());
+    }
+}

@@ -1,0 +1,228 @@
+//! Sticky bit and n-consensus objects: types at the top of both hierarchies.
+
+use crate::ids::{OpId, Outcome, Response, ValueId};
+use crate::object_type::ObjectType;
+
+/// Plotkin's sticky bit.
+///
+/// * Values: `⊥` (0), `stuck-0` (1), `stuck-1` (2).
+/// * Operations: `write(0)` (op 0), `write(1)` (op 1), `read` (op 2).
+/// * Responses: `0`, `1`, `⊥` (2).
+///
+/// A write to `⊥` sticks the bit and returns the written value; any later
+/// write returns the stuck value and has no effect. The sticky bit has
+/// infinite consensus number, and — because its single mutation permanently
+/// and visibly records the first writer's value — its recording number is
+/// also unbounded, so it keeps full power in the recoverable hierarchy.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::StickyBit, ObjectType, OpId, ValueId};
+/// let sb = StickyBit::new();
+/// let out = sb.apply(ValueId::new(0), OpId::new(1)); // write(1) to ⊥
+/// assert_eq!(out.response.index(), 1);
+/// let out = sb.apply(out.next, OpId::new(0)); // write(0) loses
+/// assert_eq!(out.response.index(), 1); // still answers 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StickyBit;
+
+impl StickyBit {
+    /// Creates a sticky bit (initial value is `⊥` by convention).
+    pub fn new() -> Self {
+        StickyBit
+    }
+}
+
+impl ObjectType for StickyBit {
+    fn name(&self) -> String {
+        "sticky-bit".into()
+    }
+
+    fn num_values(&self) -> usize {
+        3
+    }
+
+    fn num_ops(&self) -> usize {
+        3
+    }
+
+    fn num_responses(&self) -> usize {
+        3
+    }
+
+    fn apply(&self, value: ValueId, op: OpId) -> Outcome {
+        match op.index() {
+            x @ (0 | 1) => match value.index() {
+                0 => Outcome::new(Response(x as u16), ValueId(x as u16 + 1)),
+                stuck => Outcome::new(Response(stuck as u16 - 1), value),
+            },
+            2 => {
+                let r = match value.index() {
+                    0 => 2, // ⊥
+                    stuck => stuck as u16 - 1,
+                };
+                Outcome::new(Response(r), value)
+            }
+            _ => panic!("sticky bit has 3 operations, got {op}"),
+        }
+    }
+
+    fn value_name(&self, value: ValueId) -> String {
+        match value.index() {
+            0 => "⊥".into(),
+            v => format!("stuck-{}", v - 1),
+        }
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        match op.index() {
+            2 => "read".into(),
+            x => format!("write({x})"),
+        }
+    }
+
+    fn response_name(&self, response: Response) -> String {
+        match response.index() {
+            2 => "⊥".into(),
+            r => format!("{r}"),
+        }
+    }
+}
+
+/// A (binary) consensus object: the universal type.
+///
+/// * Values: `⊥` (0), `decided-0` (1), `decided-1` (2).
+/// * Operations: `propose(0)` (op 0), `propose(1)` (op 1), `read` (op 2).
+/// * Responses: `0`, `1`, `⊥` (2).
+///
+/// `propose(x)` decides `x` if the object is undecided and returns the
+/// decided value either way. Unlike test-and-set, the decided value is
+/// permanently recorded, which is why consensus objects keep infinite power
+/// even in the recoverable hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConsensusObject;
+
+impl ConsensusObject {
+    /// Creates a consensus object (initially undecided by convention).
+    pub fn new() -> Self {
+        ConsensusObject
+    }
+
+    /// The op id of `propose(x)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x > 1`.
+    pub fn propose_op(&self, x: usize) -> OpId {
+        assert!(x <= 1, "binary consensus proposals are 0 or 1");
+        OpId(x as u16)
+    }
+}
+
+impl ObjectType for ConsensusObject {
+    fn name(&self) -> String {
+        "consensus-object".into()
+    }
+
+    fn num_values(&self) -> usize {
+        3
+    }
+
+    fn num_ops(&self) -> usize {
+        3
+    }
+
+    fn num_responses(&self) -> usize {
+        3
+    }
+
+    fn apply(&self, value: ValueId, op: OpId) -> Outcome {
+        match op.index() {
+            x @ (0 | 1) => match value.index() {
+                0 => Outcome::new(Response(x as u16), ValueId(x as u16 + 1)),
+                decided => Outcome::new(Response(decided as u16 - 1), value),
+            },
+            2 => {
+                let r = match value.index() {
+                    0 => 2,
+                    decided => decided as u16 - 1,
+                };
+                Outcome::new(Response(r), value)
+            }
+            _ => panic!("consensus object has 3 operations, got {op}"),
+        }
+    }
+
+    fn value_name(&self, value: ValueId) -> String {
+        match value.index() {
+            0 => "⊥".into(),
+            v => format!("decided-{}", v - 1),
+        }
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        match op.index() {
+            2 => "read".into(),
+            x => format!("propose({x})"),
+        }
+    }
+
+    fn response_name(&self, response: Response) -> String {
+        match response.index() {
+            2 => "⊥".into(),
+            r => format!("{r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_type::check_closed;
+
+    #[test]
+    fn sticky_bit_is_closed_and_readable() {
+        let sb = StickyBit::new();
+        assert!(check_closed(&sb).is_ok());
+        assert_eq!(sb.read_op(), Some(OpId(2)));
+    }
+
+    #[test]
+    fn first_write_sticks() {
+        let sb = StickyBit::new();
+        let out = sb.apply(ValueId(0), OpId(0));
+        assert_eq!(out.next, ValueId(1));
+        assert_eq!(out.response, Response(0));
+        // Later writes of either value return the stuck value.
+        for op in 0..2 {
+            let later = sb.apply(out.next, OpId(op));
+            assert_eq!(later.next, out.next);
+            assert_eq!(later.response, Response(0));
+        }
+    }
+
+    #[test]
+    fn sticky_read_reports_bottom() {
+        let sb = StickyBit::new();
+        let out = sb.apply(ValueId(0), OpId(2));
+        assert_eq!(sb.response_name(out.response), "⊥");
+    }
+
+    #[test]
+    fn consensus_object_decides_once() {
+        let c = ConsensusObject::new();
+        assert!(check_closed(&c).is_ok());
+        let first = c.apply(ValueId(0), c.propose_op(1));
+        assert_eq!(first.response, Response(1));
+        let second = c.apply(first.next, c.propose_op(0));
+        assert_eq!(second.response, Response(1)); // the earlier decision wins
+        assert_eq!(second.next, first.next);
+    }
+
+    #[test]
+    fn consensus_object_is_readable() {
+        assert!(ConsensusObject::new().is_readable());
+    }
+}

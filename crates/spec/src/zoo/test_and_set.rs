@@ -1,0 +1,128 @@
+//! Test-and-set: the canonical consensus-number-2 type, and Golab's first
+//! example of a type whose recoverable consensus number is strictly lower
+//! than its consensus number (§1 of the paper).
+
+use crate::ids::{OpId, Outcome, Response, ValueId};
+use crate::object_type::ObjectType;
+
+/// A test-and-set bit.
+///
+/// * Values: `0` (clear), `1` (set).
+/// * Operations: `test&set` (op 0) returns the old value and sets the bit;
+///   `read` (op 1) returns the current value without changing it.
+/// * Responses: `0`, `1`.
+///
+/// Test-and-set has consensus number 2 (Herlihy) but recoverable consensus
+/// number 1 (Golab, SPAA'20): with individual crashes it cannot solve even
+/// 2-process recoverable consensus. In decider terms: it is 2-discerning but
+/// not 2-recording — experiment E7 checks exactly this.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_spec::{zoo::TestAndSet, ObjectType, OpId, ValueId};
+/// let tas = TestAndSet::new();
+/// let first = tas.apply(ValueId::new(0), OpId::new(0));
+/// assert_eq!(first.response.index(), 0); // winner sees 0
+/// let second = tas.apply(first.next, OpId::new(0));
+/// assert_eq!(second.response.index(), 1); // loser sees 1
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TestAndSet;
+
+impl TestAndSet {
+    /// Creates a test-and-set bit (initially clear by convention).
+    pub fn new() -> Self {
+        TestAndSet
+    }
+
+    /// The op id of the `test&set` operation.
+    pub fn tas_op(&self) -> OpId {
+        OpId(0)
+    }
+}
+
+impl ObjectType for TestAndSet {
+    fn name(&self) -> String {
+        "test-and-set".into()
+    }
+
+    fn num_values(&self) -> usize {
+        2
+    }
+
+    fn num_ops(&self) -> usize {
+        2
+    }
+
+    fn num_responses(&self) -> usize {
+        2
+    }
+
+    fn apply(&self, value: ValueId, op: OpId) -> Outcome {
+        match op.index() {
+            0 => Outcome::new(Response(value.0), ValueId(1)),
+            1 => Outcome::new(Response(value.0), value),
+            _ => panic!("test-and-set has 2 operations, got {op}"),
+        }
+    }
+
+    fn value_name(&self, value: ValueId) -> String {
+        match value.index() {
+            0 => "clear".into(),
+            _ => "set".into(),
+        }
+    }
+
+    fn op_name(&self, op: OpId) -> String {
+        match op.index() {
+            0 => "test&set".into(),
+            _ => "read".into(),
+        }
+    }
+
+    fn response_name(&self, response: Response) -> String {
+        format!("{}", response.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object_type::check_closed;
+
+    #[test]
+    fn tas_is_closed_and_readable() {
+        let tas = TestAndSet::new();
+        assert!(check_closed(&tas).is_ok());
+        assert_eq!(tas.read_op(), Some(OpId(1)));
+    }
+
+    #[test]
+    fn only_first_tas_wins() {
+        let tas = TestAndSet::new();
+        let mut v = ValueId(0);
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            let out = tas.apply(v, tas.tas_op());
+            responses.push(out.response.index());
+            v = out.next;
+        }
+        assert_eq!(responses, vec![0, 1, 1]);
+        assert_eq!(v, ValueId(1));
+    }
+
+    #[test]
+    fn tas_op_is_not_a_read() {
+        let tas = TestAndSet::new();
+        assert!(!tas.is_read_op(tas.tas_op()));
+    }
+
+    #[test]
+    fn read_observes_without_mutation() {
+        let tas = TestAndSet::new();
+        let out = tas.apply(ValueId(1), OpId(1));
+        assert_eq!(out.response, Response(1));
+        assert_eq!(out.next, ValueId(1));
+    }
+}

@@ -1,0 +1,596 @@
+//! The protocol checker: safety (agreement, validity) and recoverable
+//! wait-freedom, decided exactly on the finite configuration graph.
+//!
+//! * **Safety** is edge reachability: the executor flags the edge on which a
+//!   conflicting or invalid output happens; any reachable flagged edge is a
+//!   counterexample, and the BFS parent chain yields a concrete schedule.
+//! * **Recoverable wait-freedom** (paper §2: *"a process that executes its
+//!   algorithm starting from its initial state either crashes or outputs a
+//!   value after a finite number of its own steps"*) is violated iff, for
+//!   some process `p`, the graph restricted to configurations where `p` is
+//!   undecided and to edges other than `c_p` contains a reachable cycle with
+//!   a step of `p`: looping that cycle is an execution in which `p` takes
+//!   infinitely many steps, stops crashing, and never outputs. On a finite
+//!   graph this is exact — no bounding, no approximation.
+
+use crate::graph::{ConfigGraph, ConfigId, ExploreError};
+use rcn_model::{Event, ProcessId, Schedule, System, Violation};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A concrete counterexample execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// Schedule from the initial configuration to the problem.
+    pub prefix: Schedule,
+    /// For liveness violations: a cycle that can be looped forever. Empty
+    /// for safety violations.
+    pub cycle: Schedule,
+    /// Human-readable description of what goes wrong.
+    pub description: String,
+}
+
+impl Counterexample {
+    /// Renders the counterexample as a full execution narration: every
+    /// event with the configuration it produces, outputs and violations
+    /// annotated — [`rcn_model::Execution`]'s display over the prefix (and
+    /// one unrolling of the cycle for lassos).
+    pub fn render(&self, system: &System) -> String {
+        let mut schedule = self.prefix.clone();
+        schedule.extend(&self.cycle);
+        let exec = rcn_model::Execution::record(system, &schedule);
+        if self.cycle.is_empty() {
+            format!("{}\n{exec}", self.description)
+        } else {
+            format!(
+                "{} (cycle {} unrolled once)\n{exec}",
+                self.description, self.cycle
+            )
+        }
+    }
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.cycle.is_empty() {
+            write!(f, "{}: {}", self.description, self.prefix)
+        } else {
+            write!(f, "{}: {} ({})^ω", self.description, self.prefix, self.cycle)
+        }
+    }
+}
+
+/// The verdict of [`check_consensus`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// The protocol solves recoverable wait-free consensus for this system:
+    /// no reachable safety violation and no wait-freedom counterexample.
+    Correct,
+    /// A safety violation (agreement or validity) is reachable.
+    Unsafe {
+        /// The violation.
+        violation: Violation,
+        /// How to reach it.
+        counterexample: Counterexample,
+    },
+    /// Recoverable wait-freedom fails for some process.
+    NotRecoverableWaitFree {
+        /// The starving process.
+        process: ProcessId,
+        /// The lasso-shaped counterexample.
+        counterexample: Counterexample,
+    },
+}
+
+impl Verdict {
+    /// Returns `true` for [`Verdict::Correct`].
+    pub fn is_correct(&self) -> bool {
+        matches!(self, Verdict::Correct)
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Verdict::Correct => write!(f, "correct (safe + recoverable wait-free)"),
+            Verdict::Unsafe {
+                violation,
+                counterexample,
+            } => write!(f, "UNSAFE: {violation} via {counterexample}"),
+            Verdict::NotRecoverableWaitFree {
+                process,
+                counterexample,
+            } => write!(f, "NOT RECOVERABLE WAIT-FREE for {process}: {counterexample}"),
+        }
+    }
+}
+
+/// The full report of a model-checking run.
+#[derive(Debug)]
+pub struct CheckReport {
+    /// The verdict.
+    pub verdict: Verdict,
+    /// Number of configurations explored.
+    pub configs: usize,
+    /// Whether crash events were part of the exploration.
+    pub with_crashes: bool,
+}
+
+/// Model-checks a consensus protocol: explores the configuration graph and
+/// decides safety and recoverable wait-freedom exactly.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::TooLarge`] if the reachable state space exceeds
+/// `max_configs`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_model::{HeapLayout, OutputInput, System};
+/// use rcn_valency::check_consensus;
+/// use std::sync::Arc;
+///
+/// // Equal inputs: outputting your own input is trivially correct.
+/// let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![1, 1]);
+/// let report = check_consensus(&sys, 10_000).unwrap();
+/// assert!(report.verdict.is_correct());
+/// ```
+pub fn check_consensus(system: &System, max_configs: usize) -> Result<CheckReport, ExploreError> {
+    let graph = ConfigGraph::explore(system, max_configs)?;
+    let verdict = check_graph(&graph);
+    Ok(CheckReport {
+        verdict,
+        configs: graph.len(),
+        with_crashes: true,
+    })
+}
+
+/// Like [`check_consensus`], on an already-explored graph.
+pub fn check_graph(graph: &ConfigGraph) -> Verdict {
+    // Outputs made at time zero (initial output states) have no edge to
+    // carry their violation; check the initial configuration directly.
+    if let Some(violation) = graph.system().check_initial_outputs(graph.config(0)) {
+        return Verdict::Unsafe {
+            violation,
+            counterexample: Counterexample {
+                prefix: Schedule::new(),
+                cycle: Schedule::new(),
+                description: "violated in the initial configuration".into(),
+            },
+        };
+    }
+    if let Some((src, edge)) = graph
+        .all_edges()
+        .find(|(_, e)| e.violation.is_some())
+    {
+        let mut prefix = graph.path_to(src);
+        prefix.push(edge.event);
+        return Verdict::Unsafe {
+            violation: edge.violation.expect("filtered on Some"),
+            counterexample: Counterexample {
+                prefix,
+                cycle: Schedule::new(),
+                description: "safety violation".into(),
+            },
+        };
+    }
+    for i in 0..graph.system().n() {
+        let p = ProcessId(i as u16);
+        if let Some(ce) = starvation_cycle(graph, p) {
+            return Verdict::NotRecoverableWaitFree {
+                process: p,
+                counterexample: ce,
+            };
+        }
+    }
+    Verdict::Correct
+}
+
+/// Finds a reachable cycle in which `p` steps, never crashes and stays
+/// undecided — Tarjan SCCs on the restricted graph, then a cycle walk.
+fn starvation_cycle(graph: &ConfigGraph, p: ProcessId) -> Option<Counterexample> {
+    let n = graph.len();
+    // "Undecided" means: no recorded output AND not sitting in an output
+    // state (where steps are no-ops and the process has effectively decided).
+    let keep = |id: ConfigId| {
+        graph.config(id).decided[p.index()].is_none()
+            && !matches!(
+                graph.system().action_of(graph.config(id), p),
+                rcn_model::Action::Output(_)
+            )
+    };
+    let keep_edge = |e: &rcn_model::Event| !matches!(e, Event::Crash(q) if *q == p);
+
+    let sccs = tarjan(n, |id| {
+        if !keep(id) {
+            return Vec::new();
+        }
+        graph
+            .edges(id)
+            .iter()
+            .filter(|e| keep(e.target) && keep_edge(&e.event))
+            .map(|e| e.target)
+            .collect()
+    });
+
+    // An SCC is bad if it contains a Step(p) edge that stays inside it
+    // (including self-loops).
+    for scc in &sccs {
+        if scc.len() == 1 {
+            let id = scc[0];
+            let has_self_loop = keep(id)
+                && graph.edges(id).iter().any(|e| {
+                    e.target == id && keep_edge(&e.event) && e.event == Event::Step(p)
+                });
+            if !has_self_loop {
+                continue;
+            }
+        }
+        let inside: std::collections::HashSet<ConfigId> = scc.iter().copied().collect();
+        let step_edge = scc.iter().find_map(|&id| {
+            if !keep(id) {
+                return None;
+            }
+            graph
+                .edges(id)
+                .iter()
+                .find(|e| {
+                    e.event == Event::Step(p) && inside.contains(&e.target) && keep_edge(&e.event)
+                })
+                .map(|e| (id, e.target))
+        });
+        let Some((src, dst)) = step_edge else { continue };
+        // Build the cycle: src --Step(p)--> dst --…--> src inside the SCC.
+        let back = path_within(graph, &inside, dst, src, &keep_edge, &keep)?;
+        let mut cycle = Schedule::new();
+        cycle.push(Event::Step(p));
+        cycle.extend(&back);
+        let prefix = graph.path_to(src);
+        return Some(Counterexample {
+            prefix,
+            cycle,
+            description: format!("{p} can take infinitely many steps without crashing or deciding"),
+        });
+    }
+    None
+}
+
+/// BFS path from `from` to `to` within `inside`, honoring the edge filter.
+fn path_within(
+    graph: &ConfigGraph,
+    inside: &std::collections::HashSet<ConfigId>,
+    from: ConfigId,
+    to: ConfigId,
+    keep_edge: &dyn Fn(&Event) -> bool,
+    keep: &dyn Fn(ConfigId) -> bool,
+) -> Option<Schedule> {
+    if from == to {
+        return Some(Schedule::new());
+    }
+    let mut prev: HashMap<ConfigId, (ConfigId, Event)> = HashMap::new();
+    let mut queue = std::collections::VecDeque::from([from]);
+    while let Some(id) = queue.pop_front() {
+        for e in graph.edges(id) {
+            if !inside.contains(&e.target) || !keep_edge(&e.event) || !keep(e.target) {
+                continue;
+            }
+            if e.target != from && !prev.contains_key(&e.target) {
+                prev.insert(e.target, (id, e.event));
+                if e.target == to {
+                    let mut events = Vec::new();
+                    let mut cur = to;
+                    while cur != from {
+                        let (pr, ev) = prev[&cur];
+                        events.push(ev);
+                        cur = pr;
+                    }
+                    events.reverse();
+                    return Some(Schedule::from_events(events));
+                }
+                queue.push_back(e.target);
+            }
+        }
+    }
+    None
+}
+
+/// Iterative Tarjan SCC over an implicit graph. Returns all SCCs (singletons
+/// included).
+fn tarjan(n: usize, successors: impl Fn(ConfigId) -> Vec<ConfigId>) -> Vec<Vec<ConfigId>> {
+    #[derive(Clone, Copy)]
+    struct NodeState {
+        index: u32,
+        lowlink: u32,
+        on_stack: bool,
+        visited: bool,
+    }
+    let mut state = vec![
+        NodeState {
+            index: 0,
+            lowlink: 0,
+            on_stack: false,
+            visited: false,
+        };
+        n
+    ];
+    let mut counter = 0u32;
+    let mut stack: Vec<ConfigId> = Vec::new();
+    let mut sccs: Vec<Vec<ConfigId>> = Vec::new();
+
+    // Explicit DFS stack of (node, successor list, next successor index).
+    for root in 0..n {
+        if state[root].visited {
+            continue;
+        }
+        let mut dfs: Vec<(ConfigId, Vec<ConfigId>, usize)> = Vec::new();
+        state[root].visited = true;
+        state[root].index = counter;
+        state[root].lowlink = counter;
+        counter += 1;
+        state[root].on_stack = true;
+        stack.push(root);
+        dfs.push((root, successors(root), 0));
+
+        while let Some((node, succs, mut i)) = dfs.pop() {
+            let mut descended = false;
+            while i < succs.len() {
+                let next = succs[i];
+                i += 1;
+                if !state[next].visited {
+                    state[next].visited = true;
+                    state[next].index = counter;
+                    state[next].lowlink = counter;
+                    counter += 1;
+                    state[next].on_stack = true;
+                    stack.push(next);
+                    dfs.push((node, succs, i));
+                    dfs.push((next, successors(next), 0));
+                    descended = true;
+                    break;
+                } else if state[next].on_stack {
+                    state[node].lowlink = state[node].lowlink.min(state[next].index);
+                }
+            }
+            if descended {
+                continue;
+            }
+            // Node finished.
+            if state[node].lowlink == state[node].index {
+                let mut scc = Vec::new();
+                loop {
+                    let w = stack.pop().expect("tarjan stack underflow");
+                    state[w].on_stack = false;
+                    scc.push(w);
+                    if w == node {
+                        break;
+                    }
+                }
+                sccs.push(scc);
+            }
+            if let Some(&mut (parent, _, _)) = dfs.last_mut() {
+                state[parent].lowlink = state[parent].lowlink.min(state[node].lowlink);
+            }
+        }
+    }
+    sccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_model::{Action, HeapLayout, LocalState, Program};
+    use rcn_spec::zoo::{Register, StickyBit};
+    use std::sync::Arc;
+
+    /// A correct 2-process recoverable consensus protocol from a sticky bit:
+    /// write your input into the sticky bit and decide what stuck. The
+    /// sticky bit records the winner permanently, so crashes are harmless.
+    struct StickyConsensus {
+        sticky: rcn_model::ObjectId,
+    }
+
+    impl Program for StickyConsensus {
+        fn name(&self) -> String {
+            "sticky-consensus".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            match state.word(1) {
+                0 => Action::Invoke {
+                    object: self.sticky,
+                    op: rcn_spec::OpId::new(state.word(0) as u16), // write(input)
+                },
+                _ => Action::Output(state.word(2)),
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            response: rcn_spec::Response,
+        ) -> LocalState {
+            LocalState::from_words([state.word(0), 1, response.index() as u32])
+        }
+    }
+
+    fn sticky_sys(inputs: Vec<u32>) -> System {
+        let mut layout = HeapLayout::new();
+        let sticky = layout.add_object("S", Arc::new(StickyBit::new()), rcn_spec::ValueId::new(0));
+        System::new(Arc::new(StickyConsensus { sticky }), Arc::new(layout), inputs)
+    }
+
+    #[test]
+    fn sticky_consensus_is_correct_under_crashes() {
+        for inputs in [vec![0, 1], vec![1, 0], vec![1, 1], vec![0, 1, 1]] {
+            let report = check_consensus(&sticky_sys(inputs.clone()), 100_000).unwrap();
+            assert!(
+                report.verdict.is_correct(),
+                "inputs {inputs:?}: {}",
+                report.verdict
+            );
+        }
+    }
+
+    /// A program that loops forever reading a register (never decides).
+    struct Spinner {
+        reg: rcn_model::ObjectId,
+    }
+
+    impl Program for Spinner {
+        fn name(&self) -> String {
+            "spinner".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word1(input)
+        }
+        fn action(&self, _pid: ProcessId, _state: &LocalState) -> Action {
+            Action::Invoke {
+                object: self.reg,
+                op: rcn_spec::OpId::new(2),
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            _response: rcn_spec::Response,
+        ) -> LocalState {
+            state.clone()
+        }
+    }
+
+    #[test]
+    fn spinner_violates_recoverable_wait_freedom() {
+        let mut layout = HeapLayout::new();
+        let reg = layout.add_object("R", Arc::new(Register::new(2)), rcn_spec::ValueId::new(0));
+        let sys = System::new(Arc::new(Spinner { reg }), Arc::new(layout), vec![0, 1]);
+        let report = check_consensus(&sys, 10_000).unwrap();
+        match report.verdict {
+            Verdict::NotRecoverableWaitFree {
+                process,
+                ref counterexample,
+            } => {
+                assert_eq!(process, ProcessId(0));
+                assert!(!counterexample.cycle.is_empty());
+                // The cycle must contain a step of p0 and no crash of p0.
+                assert!(counterexample.cycle.steps_of(process) > 0);
+                assert_eq!(counterexample.cycle.crashes_of(process), 0);
+            }
+            ref other => panic!("expected starvation, got {other}"),
+        }
+    }
+
+    /// Outputs the register's current value — disagreement is reachable.
+    struct ReadAndDecide {
+        reg: rcn_model::ObjectId,
+    }
+
+    impl Program for ReadAndDecide {
+        fn name(&self) -> String {
+            "read-and-decide".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            match state.word(1) {
+                0 => Action::Invoke {
+                    object: self.reg,
+                    op: rcn_spec::OpId::new(state.word(0) as u16), // write input
+                },
+                1 => Action::Invoke {
+                    object: self.reg,
+                    op: rcn_spec::OpId::new(2), // read
+                },
+                _ => Action::Output(state.word(2)),
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            response: rcn_spec::Response,
+        ) -> LocalState {
+            match state.word(1) {
+                0 => LocalState::word2(state.word(0), 1),
+                _ => LocalState::from_words([state.word(0), 2, response.index() as u32]),
+            }
+        }
+    }
+
+    #[test]
+    fn register_consensus_attempt_is_unsafe() {
+        let mut layout = HeapLayout::new();
+        let reg = layout.add_object("R", Arc::new(Register::new(2)), rcn_spec::ValueId::new(0));
+        let sys = System::new(Arc::new(ReadAndDecide { reg }), Arc::new(layout), vec![0, 1]);
+        let report = check_consensus(&sys, 100_000).unwrap();
+        match report.verdict {
+            Verdict::Unsafe {
+                violation,
+                ref counterexample,
+            } => {
+                assert!(matches!(violation, Violation::Agreement { .. }));
+                // The counterexample must replay to the violation.
+                let system = &sys;
+                let (_, found) = system.run_from_start(&counterexample.prefix);
+                assert!(found.is_some(), "counterexample must replay");
+            }
+            ref other => panic!("expected unsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn tarjan_finds_simple_cycles() {
+        // 0 -> 1 -> 2 -> 0, 3 isolated.
+        let adj = [vec![1], vec![2], vec![0], vec![]];
+        let sccs = tarjan(4, |i| adj[i].clone());
+        let big: Vec<_> = sccs.iter().filter(|s| s.len() == 3).collect();
+        assert_eq!(big.len(), 1);
+        assert_eq!(sccs.iter().map(Vec::len).sum::<usize>(), 4);
+    }
+
+    #[test]
+    fn tarjan_handles_self_loops_and_chains() {
+        // 0 -> 0 (self loop), 0 -> 1.
+        let adj = [vec![0, 1], vec![]];
+        let sccs = tarjan(2, |i| adj[i].clone());
+        assert_eq!(sccs.len(), 2);
+    }
+}
+
+#[cfg(test)]
+mod render_tests {
+    use super::*;
+    use rcn_model::{HeapLayout, OutputInput, System};
+    use std::sync::Arc;
+
+    #[test]
+    fn rendered_counterexamples_narrate_the_violation() {
+        // Mixed inputs with the trivial output-input program: time-zero
+        // agreement violation, rendered as a (degenerate) execution.
+        let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![0, 1]);
+        let graph = crate::ConfigGraph::explore(&sys, 1_000).unwrap();
+        match check_graph(&graph) {
+            Verdict::Unsafe { counterexample, .. } => {
+                let text = counterexample.render(&sys);
+                assert!(text.contains("initial configuration"), "{text}");
+            }
+            other => panic!("expected unsafe, got {other}"),
+        }
+    }
+
+    #[test]
+    fn lasso_render_unrolls_the_cycle() {
+        let ce = Counterexample {
+            prefix: "p0".parse().unwrap(),
+            cycle: "p1 p1".parse().unwrap(),
+            description: "demo".into(),
+        };
+        let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![1, 1]);
+        let text = ce.render(&sys);
+        assert!(text.contains("cycle p1 p1 unrolled once"));
+    }
+}

@@ -1,0 +1,520 @@
+//! The paper's §3 valency machinery, mechanized on bounded instances.
+//!
+//! The proof of Theorem 13 works with the crash-budgeted execution sets
+//! `E_z*(C)`: `p_i` may crash at most `z·n ×` (steps of lower-id processes)
+//! times, checked at every prefix. We explore exactly those executions as a
+//! graph over *budgeted states* — `(configuration, remaining crash
+//! allowance per process)` — with one approximation that keeps the state
+//! space finite: allowances are clamped at a configurable ceiling. Every
+//! execution explored is genuinely in `E_z*(C)`; executions whose allowance
+//! ever needs to exceed the clamp are missed, so:
+//!
+//! * **bivalence** found here is sound (both deciding extensions are real
+//!   `E_z*` executions);
+//! * **criticality** is relative to the clamped set (a critical state here
+//!   is "critical up to the clamp").
+//!
+//! On top of the graph we mechanize the paper's per-lemma checks for a
+//! critical execution `α`: both teams nonempty (Lemma 7), all processes
+//! poised on one object (Lemma 9), and the trichotomy of Observation 11 —
+//! the final configuration is *n-recording*, *v-hiding*, or has colliding
+//! values — computed with the same `U_x` reachability used by the deciders.
+
+use crate::graph::ExploreError;
+use rcn_decide::Analysis;
+use rcn_model::{Action, Configuration, Event, ObjectId, ProcessId, Schedule, System};
+use rcn_spec::{OpId, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A configuration plus clamped crash allowances (the `E_z*` budget state).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct BudgetedState {
+    config: Configuration,
+    /// `allowance[i]` = how many more times `p_i` may crash (clamped).
+    /// `allowance[0]` is always 0: `p_0` never crashes.
+    allowance: Vec<u16>,
+}
+
+/// Valency of a state with respect to the explored execution set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Valency {
+    /// Both 0-deciding and 1-deciding extensions exist.
+    Bivalent,
+    /// Only `v`-deciding extensions exist.
+    Univalent(u32),
+    /// No deciding extension was found (indicates a liveness bug or an
+    /// over-tight clamp).
+    Undetermined,
+}
+
+impl fmt::Display for Valency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Valency::Bivalent => write!(f, "bivalent"),
+            Valency::Univalent(v) => write!(f, "{v}-univalent"),
+            Valency::Undetermined => write!(f, "undetermined"),
+        }
+    }
+}
+
+/// The Observation 11 trichotomy for a critical configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CriticalClass {
+    /// `U_0 ∩ U_1 = ∅` and the hiding clause holds: the configuration is
+    /// *n-recording* (which certifies the object's type is n-recording).
+    Recording,
+    /// `U_0 ∩ U_1 = ∅` but the current value of `O` is in `U_v`: *v-hiding*.
+    Hiding(u32),
+    /// The two teams can drive `O` to a common value.
+    Colliding,
+}
+
+impl fmt::Display for CriticalClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CriticalClass::Recording => write!(f, "n-recording"),
+            CriticalClass::Hiding(v) => write!(f, "{v}-hiding"),
+            CriticalClass::Colliding => write!(f, "colliding"),
+        }
+    }
+}
+
+/// Everything the machinery derives about one critical execution.
+#[derive(Debug, Clone)]
+pub struct CriticalInfo {
+    /// Schedule of the critical execution `α` from the initial
+    /// configuration.
+    pub schedule: Schedule,
+    /// The valency of `α p_i` for each undecided process (its *team*).
+    pub teams: Vec<Option<u32>>,
+    /// The single object all undecided processes are poised to access
+    /// (Lemma 9), if indeed single.
+    pub object: Option<ObjectId>,
+    /// The Observation 11 classification, when `object` is `Some`.
+    pub class: Option<CriticalClass>,
+}
+
+/// The explored `E_z*` execution graph with valencies.
+pub struct BudgetedGraph {
+    system: System,
+    states: Vec<BudgetedState>,
+    edges: Vec<Vec<(Event, usize)>>,
+    parent: Vec<Option<(usize, Event)>>,
+    valency: Vec<Valency>,
+    z: usize,
+    clamp: u16,
+}
+
+impl BudgetedGraph {
+    /// Explores the `E_z*` executions of `system` (allowances clamped at
+    /// `clamp`), up to `max_states` budgeted states, and computes
+    /// valencies.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::TooLarge`] if the limit is exceeded.
+    pub fn explore(
+        system: &System,
+        z: usize,
+        clamp: u16,
+        max_states: usize,
+    ) -> Result<BudgetedGraph, ExploreError> {
+        Self::explore_from(system, &rcn_model::Schedule::new(), z, clamp, max_states)
+    }
+
+    /// Like [`explore`](Self::explore), but starting from the configuration
+    /// reached by running `prefix` from the initial configuration, with
+    /// fresh crash allowances — matching the paper's per-stage sets
+    /// `E_z*(D_i)`, which restart the budget at each `D_i`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::TooLarge`] if the limit is exceeded.
+    pub fn explore_from(
+        system: &System,
+        prefix: &rcn_model::Schedule,
+        z: usize,
+        clamp: u16,
+        max_states: usize,
+    ) -> Result<BudgetedGraph, ExploreError> {
+        let n = system.n();
+        let (start, _) = {
+            let mut config = system.initial_config();
+            system.run(&mut config, prefix);
+            (config, ())
+        };
+        let init = BudgetedState {
+            config: start,
+            allowance: vec![0; n],
+        };
+        let mut states = vec![init.clone()];
+        let mut index: HashMap<BudgetedState, usize> = HashMap::from([(init, 0)]);
+        let mut edges: Vec<Vec<(Event, usize)>> = vec![Vec::new()];
+        let mut parent: Vec<Option<(usize, Event)>> = vec![None];
+
+        let mut frontier = 0;
+        while frontier < states.len() {
+            let id = frontier;
+            frontier += 1;
+            let state = states[id].clone();
+            let mut out = Vec::new();
+            for i in 0..n {
+                let p = ProcessId(i as u16);
+                let mut candidates = vec![Event::Step(p)];
+                if i > 0 && state.allowance[i] > 0 {
+                    candidates.push(Event::Crash(p));
+                }
+                for event in candidates {
+                    let mut next = state.clone();
+                    system.apply(&mut next.config, event);
+                    match event {
+                        Event::Step(_) => {
+                            // A step of p_i funds z·n crashes of every
+                            // higher-id process.
+                            for a in next.allowance.iter_mut().skip(i + 1) {
+                                *a = (*a).saturating_add((z * n) as u16).min(clamp);
+                            }
+                        }
+                        Event::Crash(_) => {
+                            next.allowance[i] -= 1;
+                        }
+                    }
+                    let target = match index.get(&next) {
+                        Some(&t) => t,
+                        None => {
+                            if states.len() >= max_states {
+                                return Err(ExploreError::TooLarge { limit: max_states });
+                            }
+                            let t = states.len();
+                            states.push(next.clone());
+                            index.insert(next, t);
+                            edges.push(Vec::new());
+                            parent.push(Some((id, event)));
+                            t
+                        }
+                    };
+                    out.push((event, target));
+                }
+            }
+            edges[id] = out;
+        }
+
+        let valency = compute_valencies(&states, &edges);
+        Ok(BudgetedGraph {
+            system: system.clone(),
+            states,
+            edges,
+            parent,
+            valency,
+            z,
+            clamp,
+        })
+    }
+
+    /// Number of budgeted states.
+    pub fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Returns `true` if the graph is empty (never).
+    pub fn is_empty(&self) -> bool {
+        self.states.is_empty()
+    }
+
+    /// The budget multiplier `z`.
+    pub fn z(&self) -> usize {
+        self.z
+    }
+
+    /// The allowance clamp.
+    pub fn clamp(&self) -> u16 {
+        self.clamp
+    }
+
+    /// The valency of a state.
+    pub fn valency(&self, id: usize) -> Valency {
+        self.valency[id]
+    }
+
+    /// Outgoing `(event, target)` edges of a budgeted state.
+    pub fn successors(&self, id: usize) -> &[(Event, usize)] {
+        &self.edges[id]
+    }
+
+    /// The valency of the initial state.
+    pub fn initial_valency(&self) -> Valency {
+        self.valency[0]
+    }
+
+    /// Schedule from the initial state to `id`.
+    pub fn path_to(&self, id: usize) -> Schedule {
+        let mut events = Vec::new();
+        let mut cur = id;
+        while let Some((prev, event)) = self.parent[cur] {
+            events.push(event);
+            cur = prev;
+        }
+        events.reverse();
+        Schedule::from_events(events)
+    }
+
+    /// Finds a *critical* state: bivalent, with every successor univalent
+    /// (criticality relative to the clamped execution set; cf. Lemma 6(a)).
+    pub fn find_critical(&self) -> Option<usize> {
+        (0..self.len()).find(|&id| {
+            self.valency[id] == Valency::Bivalent
+                && self.edges[id]
+                    .iter()
+                    .all(|&(_, t)| matches!(self.valency[t], Valency::Univalent(_)))
+        })
+    }
+
+    /// Mechanizes the paper's analysis of a critical state: teams
+    /// (valencies of `α p_i`), the common poised object (Lemma 9), and the
+    /// Observation 11 classification.
+    pub fn analyze_critical(&self, id: usize) -> CriticalInfo {
+        let n = self.system.n();
+        let config = &self.states[id].config;
+        let mut teams = vec![None; n];
+        for &(event, target) in &self.edges[id] {
+            if let Event::Step(p) = event {
+                if let Valency::Univalent(v) = self.valency[target] {
+                    teams[p.index()] = Some(v);
+                }
+            }
+        }
+        // Lemma 9: every undecided process poised on the same object.
+        let mut object: Option<ObjectId> = None;
+        let mut same = true;
+        let mut poised_ops: Vec<Option<OpId>> = vec![None; n];
+        for (i, poised) in poised_ops.iter_mut().enumerate() {
+            let p = ProcessId(i as u16);
+            if config.decided[i].is_some() {
+                continue;
+            }
+            match self.system.action_of(config, p) {
+                Action::Invoke { object: o, op } => {
+                    *poised = Some(op);
+                    match object {
+                        None => object = Some(o),
+                        Some(prev) if prev == o => {}
+                        Some(_) => same = false,
+                    }
+                }
+                Action::Output(_) => {}
+            }
+        }
+        let object = if same { object } else { None };
+        let class = object.and_then(|o| {
+            self.classify_critical(config, o, &teams, &poised_ops)
+        });
+        CriticalInfo {
+            schedule: self.path_to(id),
+            teams,
+            object,
+            class,
+        }
+    }
+
+    fn classify_critical(
+        &self,
+        config: &Configuration,
+        object: ObjectId,
+        teams: &[Option<u32>],
+        poised_ops: &[Option<OpId>],
+    ) -> Option<CriticalClass> {
+        // Gather the processes that are poised with a known team.
+        let mut procs: Vec<(usize, OpId, u32)> = Vec::new();
+        for (i, (team, op)) in teams.iter().zip(poised_ops).enumerate() {
+            if let (Some(team), Some(op)) = (team, op) {
+                procs.push((i, *op, *team));
+            }
+        }
+        if procs.is_empty() {
+            return None;
+        }
+        let ty = self.system.layout().object_type(object);
+        let u: ValueId = config.values[object.index()];
+        let ops: Vec<OpId> = procs.iter().map(|&(_, op, _)| op).collect();
+        let analysis = Analysis::new(ty, u, &ops);
+        let t0: Vec<usize> = procs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, team))| team == 0)
+            .map(|(k, _)| k)
+            .collect();
+        let t1: Vec<usize> = procs
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, _, team))| team == 1)
+            .map(|(k, _)| k)
+            .collect();
+        if t0.is_empty() || t1.is_empty() {
+            return None;
+        }
+        let u0 = analysis.value_set(&t0);
+        let u1 = analysis.value_set(&t1);
+        if u0.intersects(&u1) {
+            return Some(CriticalClass::Colliding);
+        }
+        let hiding0 = u0.contains(u.index());
+        let hiding1 = u1.contains(u.index());
+        // n-recording: disjoint, and if u ∈ U_x then |T_x̄| = 1.
+        let recording_ok =
+            (!hiding0 || t1.len() == 1) && (!hiding1 || t0.len() == 1);
+        if recording_ok {
+            Some(CriticalClass::Recording)
+        } else if hiding0 {
+            Some(CriticalClass::Hiding(0))
+        } else {
+            Some(CriticalClass::Hiding(1))
+        }
+    }
+}
+
+/// Backward fixpoint: which states can reach a 0-decision / a 1-decision.
+fn compute_valencies(states: &[BudgetedState], edges: &[Vec<(Event, usize)>]) -> Vec<Valency> {
+    let n = states.len();
+    let mut reach0 = vec![false; n];
+    let mut reach1 = vec![false; n];
+    for (i, s) in states.iter().enumerate() {
+        for d in s.config.decided.iter().flatten() {
+            match d {
+                0 => reach0[i] = true,
+                _ => reach1[i] = true,
+            }
+        }
+    }
+    // Fixpoint sweeps (the graph is small; simple iteration suffices).
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for i in (0..n).rev() {
+            for &(_, t) in &edges[i] {
+                if reach0[t] && !reach0[i] {
+                    reach0[i] = true;
+                    changed = true;
+                }
+                if reach1[t] && !reach1[i] {
+                    reach1[i] = true;
+                    changed = true;
+                }
+            }
+        }
+    }
+    (0..n)
+        .map(|i| match (reach0[i], reach1[i]) {
+            (true, true) => Valency::Bivalent,
+            (true, false) => Valency::Univalent(0),
+            (false, true) => Valency::Univalent(1),
+            (false, false) => Valency::Undetermined,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_model::{HeapLayout, LocalState, Program};
+    use rcn_spec::zoo::StickyBit;
+    use std::sync::Arc;
+
+    /// 2-process sticky-bit consensus (same protocol as in checker tests).
+    struct StickyConsensus {
+        sticky: ObjectId,
+    }
+
+    impl Program for StickyConsensus {
+        fn name(&self) -> String {
+            "sticky-consensus".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            match state.word(1) {
+                0 => Action::Invoke {
+                    object: self.sticky,
+                    op: rcn_spec::OpId::new(state.word(0) as u16),
+                },
+                _ => Action::Output(state.word(2)),
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            response: rcn_spec::Response,
+        ) -> LocalState {
+            LocalState::from_words([state.word(0), 1, response.index() as u32])
+        }
+    }
+
+    fn sticky_sys(inputs: Vec<u32>) -> System {
+        let mut layout = HeapLayout::new();
+        let sticky = layout.add_object("S", Arc::new(StickyBit::new()), rcn_spec::ValueId::new(0));
+        System::new(Arc::new(StickyConsensus { sticky }), Arc::new(layout), inputs)
+    }
+
+    #[test]
+    fn initial_mixed_input_state_is_bivalent() {
+        // Observation 1 of the paper, mechanized.
+        let graph = BudgetedGraph::explore(&sticky_sys(vec![0, 1]), 1, 6, 100_000).unwrap();
+        assert_eq!(graph.initial_valency(), Valency::Bivalent);
+    }
+
+    #[test]
+    fn uniform_inputs_are_univalent() {
+        // Validity forces 1-univalence when every input is 1.
+        let graph = BudgetedGraph::explore(&sticky_sys(vec![1, 1]), 1, 6, 100_000).unwrap();
+        assert_eq!(graph.initial_valency(), Valency::Univalent(1));
+    }
+
+    #[test]
+    fn critical_state_exists_and_classifies_as_recording() {
+        // For the sticky bit the critical configuration has both processes
+        // poised to write; the witness is recording (sticky bits record the
+        // first writer permanently), matching Theorem 13's conclusion.
+        let graph = BudgetedGraph::explore(&sticky_sys(vec![0, 1]), 1, 6, 100_000).unwrap();
+        let critical = graph.find_critical().expect("critical state exists");
+        let info = graph.analyze_critical(critical);
+        assert!(info.object.is_some(), "Lemma 9: common object");
+        // Lemma 7: both teams nonempty.
+        let teams: Vec<u32> = info.teams.iter().flatten().copied().collect();
+        assert!(teams.contains(&0) && teams.contains(&1), "teams: {teams:?}");
+        assert_eq!(info.class, Some(CriticalClass::Recording));
+    }
+
+    #[test]
+    fn critical_execution_replays_to_a_bivalent_state() {
+        let sys = sticky_sys(vec![0, 1]);
+        let graph = BudgetedGraph::explore(&sys, 1, 6, 100_000).unwrap();
+        let critical = graph.find_critical().unwrap();
+        let schedule = graph.path_to(critical);
+        // Replaying the schedule must not decide anything yet.
+        let (config, violation) = sys.run_from_start(&schedule);
+        assert!(violation.is_none());
+        assert!(config.outputs().is_empty(), "critical ⇒ nobody decided");
+    }
+
+    #[test]
+    fn budget_limits_crash_events() {
+        // With z=1, n=2: p1 can only crash after p0 stepped.
+        let graph = BudgetedGraph::explore(&sticky_sys(vec![0, 1]), 1, 4, 100_000).unwrap();
+        // State 0 has no crash edges at all (no allowance yet).
+        let crashes_at_init = graph.edges[0]
+            .iter()
+            .filter(|(e, _)| e.is_crash())
+            .count();
+        assert_eq!(crashes_at_init, 0);
+    }
+
+    #[test]
+    fn explore_limit_is_enforced() {
+        match BudgetedGraph::explore(&sticky_sys(vec![0, 1]), 1, 6, 3) {
+            Err(ExploreError::TooLarge { limit }) => assert_eq!(limit, 3),
+            other => panic!("expected TooLarge, got {:?}", other.map(|g| g.len())),
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Universality in action: simulate an arbitrary object — here a bounded
+//! FIFO queue — in a recoverable wait-free manner from consensus slots plus
+//! registers (the construction the paper's §1 recalls from
+//! Delporte-Gallet–Fatourou–Fauconnier–Ruppert), and verify the simulation
+//! exhaustively under crashes.
+//!
+//! Run with: `cargo run --release --example simulate_object`
+
+use rcn::model::{drive, CrashBudget, CrashyAdversary};
+use rcn::spec::zoo::BoundedQueue;
+use rcn::spec::{ObjectType, ValueId};
+use rcn::universal::{verify_simulation, UniversalSim};
+use std::error::Error;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn Error>> {
+    // Three processes: two enqueue (0 and 1), one dequeues.
+    let q = BoundedQueue::new(2, 3);
+    let inputs = vec![
+        q.enq_op(0).index() as u32,
+        q.enq_op(1).index() as u32,
+        q.deq_op().index() as u32,
+    ];
+    let sys = UniversalSim::system(Arc::new(q.clone()), ValueId::new(0), inputs);
+    println!("simulating {} for 3 processes via consensus slots", q.name());
+
+    // Exhaustive verification: every interleaving, every crash pattern —
+    // the decided slots always form a prefix with distinct winners, and
+    // every response matches the unique log linearization.
+    let report = verify_simulation(&sys, &q, ValueId::new(0), 50_000_000)?;
+    println!(
+        "exhaustive check: {} configurations, linearizable = {}",
+        report.configs,
+        report.is_linearizable()
+    );
+    assert!(report.is_linearizable());
+
+    // A concrete crashy run, narrated.
+    let mut adv = CrashyAdversary::new(11, 0.3, CrashBudget::new(1, 3));
+    let run = drive(&sys, &mut adv, 10_000);
+    println!("crashy run schedule: {}", run.schedule);
+    for i in 0..3 {
+        let resp = run.config.decided[i].expect("all decide");
+        println!(
+            "  p{i} applied {} and received response `{}`",
+            q.op_name(rcn::spec::OpId::new(sys.inputs()[i] as u16)),
+            q.response_name(rcn::spec::Response::new(resp as u16))
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,56 @@
+//! Type synthesis: search the space of finite readable types for a target
+//! hierarchy profile using the deciders as the objective function.
+//!
+//! This is the machinery that produced the repository's shipped `X_4`
+//! reconstruction (readable, consensus number 4, recoverable consensus
+//! number 2 — the paper's gap-2 corollary). Here we run a small, fast
+//! search for the *test-and-set profile* (readable, CN 2, RCN 1) from
+//! random seeds, and then re-verify the shipped `X_4`.
+//!
+//! Run with: `cargo run --release --example synthesize`
+
+use rcn::decide::synthesis::{hill_climb, random_readable_table, rng, TargetProfile};
+use rcn::decide::{classify};
+use rcn::shipped_xn;
+
+fn main() {
+    // A small search: find any readable type with consensus number 2 and
+    // recoverable consensus number 1 (test-and-set's profile).
+    let profile = TargetProfile {
+        readable: true,
+        discerning: 2,
+        recording: 1,
+    };
+    println!("searching for profile: readable, discerning=2, recording=1 …");
+    for seed in 0..20u64 {
+        let mut r = rng(seed);
+        let start = random_readable_table(&mut r, 3, 2);
+        let out = hill_climb(&mut r, start, profile, 2_000);
+        if out.distance == 0 {
+            let c = classify(&out.best, 3);
+            println!(
+                "seed {seed}: found after {} evaluations — CN={}, RCN={}",
+                out.evaluations, c.consensus_number, c.recoverable_consensus_number
+            );
+            break;
+        }
+        println!("seed {seed}: best distance {} after {} evaluations", out.distance, out.evaluations);
+    }
+
+    // The crown jewel: the shipped X_4, found the same way (seeded from the
+    // TeamCounter family) and re-verified from scratch right now.
+    println!("\nre-verifying the shipped X_4 reconstruction …");
+    let x4 = shipped_xn(4).expect("X_4 ships with rcn-core");
+    let c = classify(&x4, 5);
+    println!(
+        "X_4: readable={}, discerning={}, recording={} ⇒ CN={}, RCN={}",
+        c.readable,
+        c.discerning.display_level(),
+        c.recording.display_level(),
+        c.consensus_number,
+        c.recoverable_consensus_number
+    );
+    assert_eq!(c.consensus_number.to_string(), "4");
+    assert_eq!(c.recoverable_consensus_number.to_string(), "2");
+    println!("the paper's gap-2 corollary, instantiated ✓");
+}

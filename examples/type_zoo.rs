@@ -1,0 +1,43 @@
+//! The type zoo: classify every type in the repository and print the
+//! hierarchy comparison table (experiments E5/E8), then render Figure 3
+//! (the state machine of T_{5,2}) as Graphviz DOT.
+//!
+//! Run with: `cargo run --release --example type_zoo`
+
+use rcn::shipped_xn;
+use rcn::spec::dot::{to_dot, to_table_text};
+use rcn::spec::zoo::{
+    BoundedQueue, BoundedStack, CompareAndSwap, ConsensusObject, FetchAndAdd, Register, StickyBit,
+    Swap, TeamCounter, TestAndSet, Tnn,
+};
+use rcn::HierarchyReport;
+
+fn main() {
+    let cap = 4;
+    let mut report = HierarchyReport::new(cap);
+    report.add(&Register::new(2));
+    report.add(&TestAndSet::new());
+    report.add(&FetchAndAdd::new(4));
+    report.add(&Swap::new(2));
+    report.add(&CompareAndSwap::new(3));
+    report.add(&StickyBit::new());
+    report.add(&ConsensusObject::new());
+    report.add(&BoundedQueue::new(2, 2));
+    report.add(&BoundedStack::new(2, 2));
+    report.add(&Tnn::new(4, 2));
+    report.add(&Tnn::new(4, 3)); // the readable boundary case n' = n−1
+    report.add(&TeamCounter::new(4));
+    if let Some(x4) = shipped_xn(4) {
+        report.add(&x4);
+    }
+    println!("{report}");
+    println!();
+
+    // Figure 3: the state machine of T_{5,2}.
+    let t52 = Tnn::new(5, 2);
+    println!("== Figure 3: transition table of T_(5,2) ==");
+    println!("{}", to_table_text(&t52));
+    println!();
+    println!("== Figure 3: Graphviz DOT (pipe into `dot -Tpng`) ==");
+    println!("{}", to_dot(&t52, false));
+}

@@ -1,0 +1,27 @@
+//! # rcn — Determining Recoverable Consensus Numbers
+//!
+//! A reproduction of *"Determining Recoverable Consensus Numbers"*
+//! (Sean Ovens, PODC 2024): executable specifications of deterministic
+//! shared-object types, the crash-recovery execution model, decision
+//! procedures for the *n-discerning* and *n-recording* conditions, an
+//! exhaustive model checker for recoverable consensus protocols, the
+//! paper's §4 algorithms, and a threaded runtime over simulated
+//! non-volatile memory.
+//!
+//! This crate is a thin facade over [`rcn_core`]; see that crate for the
+//! layer map and the README for a guided tour.
+//!
+//! ```
+//! use rcn::decide::classify;
+//! use rcn::spec::zoo::TestAndSet;
+//!
+//! // Golab's separation in two lines:
+//! let c = classify(&TestAndSet::new(), 4);
+//! assert_eq!(c.consensus_number.to_string(), "2");
+//! assert_eq!(c.recoverable_consensus_number.to_string(), "1");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use rcn_core::*;

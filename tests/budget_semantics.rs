@@ -1,0 +1,99 @@
+//! The paper's Observations 3 and 4 about the execution sets `E_z` / `E_z*`
+//! (§3), as executable properties over random schedules.
+//!
+//! * **Observation 3:** if `α ∈ A(C)` and `β ∈ A(Cα)` then `αβ ∈ A(C)` —
+//!   for `E_z*` this is concatenation closure *when the suffix re-earns its
+//!   crashes*; for `E_z` (final totals) it is plain additivity. The `E_z*`
+//!   form needs care: membership of `β` in `E_z*(Cα)` is a statement about
+//!   `β`'s own counters starting from zero, which is exactly how the
+//!   [`CrashBudget`] checker treats a schedule, so the concatenation law
+//!   holds verbatim.
+//! * **Observation 4:** appending a crash-free schedule preserves
+//!   membership in both sets.
+
+use proptest::prelude::*;
+use rcn::model::{BudgetKind, CrashBudget, Event, ProcessId, Schedule};
+
+fn arb_event(n: u16) -> impl Strategy<Value = Event> {
+    (0..n, prop::bool::ANY).prop_map(|(p, crash)| {
+        if crash {
+            Event::Crash(ProcessId(p))
+        } else {
+            Event::Step(ProcessId(p))
+        }
+    })
+}
+
+fn arb_schedule(n: u16, max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(arb_event(n), 0..max_len).prop_map(Schedule::from_events)
+}
+
+fn arb_crash_free(n: u16, max_len: usize) -> impl Strategy<Value = Schedule> {
+    prop::collection::vec(0..n, 0..max_len)
+        .prop_map(|pids| Schedule::of_steps(pids.into_iter().map(ProcessId)))
+}
+
+proptest! {
+    /// Observation 3 for `E_z` and `E_z*`: concatenating two admissible
+    /// schedules stays admissible.
+    #[test]
+    fn observation_3_concatenation(
+        alpha in arb_schedule(3, 20),
+        beta in arb_schedule(3, 20),
+        z in 1usize..3,
+    ) {
+        let budget = CrashBudget::new(z, 3);
+        for kind in [BudgetKind::Final, BudgetKind::EveryPrefix] {
+            if budget.admits(&alpha, kind) && budget.admits(&beta, kind) {
+                prop_assert!(
+                    budget.admits(&alpha.concat(&beta), kind),
+                    "α={alpha} β={beta} kind={kind:?}"
+                );
+            }
+        }
+    }
+
+    /// Observation 4: appending a crash-free schedule preserves membership.
+    #[test]
+    fn observation_4_crash_free_extension(
+        alpha in arb_schedule(3, 25),
+        sigma in arb_crash_free(3, 15),
+        z in 1usize..3,
+    ) {
+        let budget = CrashBudget::new(z, 3);
+        for kind in [BudgetKind::Final, BudgetKind::EveryPrefix] {
+            if budget.admits(&alpha, kind) {
+                prop_assert!(
+                    budget.admits(&alpha.concat(&sigma), kind),
+                    "α={alpha} σ={sigma} kind={kind:?}"
+                );
+            }
+        }
+    }
+
+    /// Crash-free schedules are themselves always admissible (degenerate
+    /// form of Observation 4 from the empty execution).
+    #[test]
+    fn crash_free_schedules_admissible(sigma in arb_crash_free(4, 25), z in 1usize..4) {
+        let budget = CrashBudget::new(z, 4);
+        prop_assert!(budget.admits(&sigma, BudgetKind::Final));
+        prop_assert!(budget.admits(&sigma, BudgetKind::EveryPrefix));
+    }
+
+    /// λ_k schedules (the construction's crash bursts) are admissible after
+    /// a step by a lower-identifier process, for z·n ≥ n − k crashes.
+    #[test]
+    fn lambda_after_low_step_is_admissible(k in 1usize..4) {
+        let n = 4;
+        let budget = CrashBudget::new(1, n);
+        // p_{k-1} steps (funding everyone above it), then λ_k.
+        let mut sched = Schedule::of_steps([ProcessId((k - 1) as u16)]);
+        sched.extend(&Schedule::lambda(k, n));
+        prop_assert!(budget.admits(&sched, BudgetKind::EveryPrefix), "{sched}");
+        // Without the funding step it is not.
+        prop_assert!(
+            !budget.admits(&Schedule::lambda(k, n), BudgetKind::EveryPrefix),
+            "λ_{k} alone must be inadmissible"
+        );
+    }
+}

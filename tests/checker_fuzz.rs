@@ -1,0 +1,146 @@
+//! Soundness fuzzing of the model checker: generate random (mostly broken)
+//! protocols and check the two engines against each other.
+//!
+//! * If a random crashy *drive* stumbles on a safety violation, the
+//!   exhaustive checker must also find one (the checker never under-reports).
+//! * If the exhaustive checker says a protocol is correct, no drive under
+//!   any seed may find a violation, and every drive that decides must
+//!   decide unanimously.
+
+use proptest::prelude::*;
+use rcn::model::{
+    drive, Action, CrashBudget, CrashyAdversary, HeapLayout, LocalState, ObjectId, ProcessId,
+    Program, System,
+};
+use rcn::spec::zoo::Register;
+use rcn::spec::{OpId, Response, ValueId};
+use rcn::valency::{check_consensus, Verdict};
+use std::sync::Arc;
+
+/// A random table-driven program over one shared register.
+///
+/// States `0..s` are "active": state `k` invokes a random op and moves to a
+/// random next state per response; states `s..s+2` are output states for
+/// 0 and 1.
+#[derive(Debug, Clone)]
+struct RandomProgram {
+    reg: ObjectId,
+    active_states: usize,
+    /// `op[state]`: the register op invoked in that state.
+    op: Vec<u16>,
+    /// `next[state][response]`: successor state.
+    next: Vec<Vec<u32>>,
+    /// Initial state per input value (0 or 1).
+    start: [u32; 2],
+}
+
+impl Program for RandomProgram {
+    fn name(&self) -> String {
+        "random-program".into()
+    }
+
+    fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+        LocalState::word1(self.start[input as usize])
+    }
+
+    fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+        let s = state.word(0) as usize;
+        if s < self.active_states {
+            Action::Invoke {
+                object: self.reg,
+                op: OpId::new(self.op[s]),
+            }
+        } else {
+            Action::Output((s - self.active_states) as u32)
+        }
+    }
+
+    fn transition(&self, _pid: ProcessId, state: &LocalState, response: Response) -> LocalState {
+        let s = state.word(0) as usize;
+        LocalState::word1(self.next[s][response.index()])
+    }
+}
+
+fn build_system(
+    active_states: usize,
+    op: Vec<u16>,
+    next: Vec<Vec<u32>>,
+    start: [u32; 2],
+    inputs: Vec<u32>,
+) -> System {
+    let mut layout = HeapLayout::new();
+    let reg = layout.add_object("R", Arc::new(Register::new(2)), ValueId::new(0));
+    System::new(
+        Arc::new(RandomProgram {
+            reg,
+            active_states,
+            op,
+            next,
+            start,
+        }),
+        Arc::new(layout),
+        inputs,
+    )
+}
+
+/// Strategy: a random program with `s` active states over a binary
+/// register (3 ops, 3 responses).
+fn arb_program(s: usize) -> impl Strategy<Value = (Vec<u16>, Vec<Vec<u32>>, [u32; 2])> {
+    let total = (s + 2) as u32;
+    (
+        prop::collection::vec(0u16..3, s),
+        prop::collection::vec(prop::collection::vec(0u32..total, 3), s + 2),
+        prop::collection::vec(0u32..total, 2),
+    )
+        .prop_map(|(op, next, start)| (op, next, [start[0], start[1]]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Drive-found violations imply checker-found violations, and
+    /// checker-correct protocols never misbehave under any drive.
+    #[test]
+    fn checker_is_sound_for_random_programs(
+        (op, next, start) in arb_program(4),
+        seed in 0u64..1_000,
+    ) {
+        let sys = build_system(4, op, next, start, vec![0, 1]);
+        let report = check_consensus(&sys, 500_000).expect("small state space");
+        let mut adv = CrashyAdversary::new(seed, 0.3, CrashBudget::new(1, 2));
+        let run = drive(&sys, &mut adv, 2_000);
+        match &report.verdict {
+            Verdict::Correct => {
+                prop_assert!(run.violation.is_none(), "drive found what checker missed");
+                prop_assert!(
+                    run.config.outputs().len() <= 1,
+                    "disagreement in a checker-correct protocol"
+                );
+            }
+            _ => {
+                // Broken protocols may or may not misbehave under this
+                // particular seed; nothing to assert beyond not panicking.
+            }
+        }
+    }
+
+    /// The converse direction on safety: replaying a checker counterexample
+    /// always reproduces the violation.
+    #[test]
+    fn checker_counterexamples_always_replay(
+        (op, next, start) in arb_program(3),
+    ) {
+        let sys = build_system(3, op, next, start, vec![0, 1]);
+        let report = check_consensus(&sys, 500_000).expect("small state space");
+        if let Verdict::Unsafe { counterexample, .. } = &report.verdict {
+            if counterexample.prefix.is_empty() {
+                // Time-zero violation: outputs in the initial configuration.
+                let config = sys.initial_config();
+                prop_assert!(sys.check_initial_outputs(&config).is_some());
+            } else {
+                let (_, violation) = sys.run_from_start(&counterexample.prefix);
+                prop_assert!(violation.is_some(), "stale counterexample {}", counterexample.prefix);
+            }
+        }
+    }
+}

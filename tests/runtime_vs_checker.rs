@@ -1,0 +1,169 @@
+//! Cross-validation: the threaded runtime and the abstract executor agree
+//! with the exhaustive model checker — no run of a checker-verified
+//! protocol may ever violate safety, under any seed, adversary, or thread
+//! interleaving.
+
+use rcn::model::{drive, CrashBudget, CrashyAdversary, RoundRobin};
+use rcn::protocols::{TnnRecoverable, TournamentConsensus};
+use rcn::runtime::{run_threaded, RunOptions};
+use rcn::spec::zoo::{CompareAndSwap, StickyBit};
+use rcn::valency::check_consensus;
+use std::sync::Arc;
+
+/// Verified protocols stay clean under the abstract crash adversary for
+/// many seeds.
+#[test]
+fn abstract_adversary_agrees_with_checker() {
+    let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+    assert!(check_consensus(&sys, 1_000_000).unwrap().verdict.is_correct());
+    for seed in 0..40 {
+        let mut adv = CrashyAdversary::new(seed, 0.4, CrashBudget::new(2, 2));
+        let report = drive(&sys, &mut adv, 50_000);
+        assert!(
+            report.is_clean_consensus(),
+            "seed {seed}: {:?} via {}",
+            report.violation,
+            report.schedule
+        );
+    }
+}
+
+/// Verified protocols stay clean on real threads for many seeds.
+#[test]
+fn threaded_runtime_agrees_with_checker() {
+    let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0]).unwrap();
+    assert!(check_consensus(&sys, 1_000_000).unwrap().verdict.is_correct());
+    for seed in 0..25 {
+        let report = run_threaded(
+            &sys,
+            RunOptions {
+                seed,
+                crash_prob: 0.2,
+                max_crashes: 4,
+                ..Default::default()
+            },
+        );
+        assert!(report.is_clean_consensus(), "seed {seed}: {report}");
+    }
+}
+
+/// The runtime scales past what the explicit-state checker can explore:
+/// 8 threads over a CAS tournament, heavy crashes, all clean.
+#[test]
+fn runtime_scales_beyond_the_checker() {
+    let inputs: Vec<u32> = (0..8u32).map(|i| (i / 3) % 2).collect();
+    let sys =
+        TournamentConsensus::try_new(Arc::new(CompareAndSwap::new(3)), inputs).unwrap();
+    for seed in 0..10 {
+        let report = run_threaded(
+            &sys,
+            RunOptions {
+                seed,
+                crash_prob: 0.15,
+                max_crashes: 3,
+                ..Default::default()
+            },
+        );
+        assert!(report.is_clean_consensus(), "seed {seed}: {report}");
+    }
+}
+
+/// Crash-free round-robin runs of every verified protocol decide promptly.
+#[test]
+fn round_robin_decides_quickly() {
+    let sys = TnnRecoverable::system(4, 3, vec![1, 0, 1]);
+    let report = drive(&sys, &mut RoundRobin::new(), 1_000);
+    assert!(report.is_clean_consensus());
+    // Each process takes at most 2 object steps in this protocol.
+    assert!(report.schedule.len() <= 3 * 2 + 3, "{}", report.schedule);
+}
+
+/// The abstract executor and the threaded runtime agree on decisions for a
+/// crash-free deterministic schedule (sequential consistency of the heap).
+#[test]
+fn solo_runs_match_between_engines() {
+    let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+    // Abstract engine: p0 runs solo, then p1.
+    let mut config = sys.initial_config();
+    let a0 = sys.run_solo(&mut config, rcn::model::ProcessId::new(0), 100).unwrap();
+    let a1 = sys.run_solo(&mut config, rcn::model::ProcessId::new(1), 100).unwrap();
+    // Threaded engine without crashes: decisions must agree with each
+    // other; the winner depends on thread timing but agreement pins both.
+    let report = run_threaded(
+        &sys,
+        RunOptions {
+            seed: 9,
+            crash_prob: 0.0,
+            max_crashes: 0,
+            ..Default::default()
+        },
+    );
+    assert!(report.is_clean_consensus());
+    assert_eq!(a0, a1);
+    assert_eq!(a0, 1, "solo p0 decides its own input");
+}
+
+/// The strongest cross-validation: record the threaded run's linearized
+/// trace and replay it through the abstract executor — the decisions must
+/// match exactly (the NvHeap really implements the model's atomic-step
+/// semantics).
+#[test]
+fn recorded_traces_replay_in_the_abstract_model() {
+    for seed in 0..15 {
+        let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+        let report = run_threaded(
+            &sys,
+            RunOptions {
+                seed,
+                crash_prob: 0.2,
+                max_crashes: 3,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.is_clean_consensus(), "seed {seed}");
+        let trace = report.trace.clone().expect("trace recorded");
+        let (mut config, violation) = sys.run_from_start(&trace);
+        assert!(violation.is_none(), "seed {seed}: trace {trace}");
+        // Finish any process that is poised to output.
+        for i in 0..sys.n() {
+            let p = rcn::model::ProcessId::new(i as u16);
+            let replayed = sys.run_solo(&mut config, p, 0);
+            assert_eq!(
+                replayed, report.processes[i].decision,
+                "seed {seed}: {p} decision mismatch after replaying {trace}"
+            );
+        }
+    }
+}
+
+/// Trace replay also matches for the multi-object tournament protocol.
+#[test]
+fn tournament_traces_replay() {
+    let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![0, 1, 1]).unwrap();
+    for seed in 0..8 {
+        let report = run_threaded(
+            &sys,
+            RunOptions {
+                seed,
+                crash_prob: 0.15,
+                max_crashes: 3,
+                record_trace: true,
+                ..Default::default()
+            },
+        );
+        assert!(report.is_clean_consensus(), "seed {seed}");
+        let trace = report.trace.clone().expect("trace recorded");
+        let (config, violation) = sys.run_from_start(&trace);
+        assert!(violation.is_none(), "seed {seed}");
+        // The trace contains exactly the steps the workers took.
+        let total_steps: usize = report.processes.iter().map(|p| p.steps).sum();
+        let total_crashes: usize = report.processes.iter().map(|p| p.crashes).sum();
+        assert_eq!(
+            trace.len(),
+            total_steps + total_crashes,
+            "seed {seed}: trace length mismatch"
+        );
+        let _ = config;
+    }
+}
