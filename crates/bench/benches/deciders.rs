@@ -4,7 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rcn_bench::readable_zoo;
-use rcn_decide::{classify, is_n_discerning, is_n_recording};
+use rcn_decide::{classify, is_n_discerning, is_n_recording, SearchEngine};
 use rcn_spec::zoo::{StickyBit, Tnn};
 
 /// E2: `T_{n,n'}` discerning sweep — the positive half of Lemma 15 at
@@ -63,11 +63,47 @@ fn zoo_classification(c: &mut Criterion) {
     });
 }
 
+/// The engine's headline case: a refutation sweep (the search must exhaust
+/// the whole instance space, so sharding across threads pays off directly)
+/// at increasing worker counts. On a multi-core box >1 thread beats 1; the
+/// stats printed after the run confirm cache hits and the instances covered.
+fn parallel_refutation_sweep(c: &mut Criterion) {
+    let t = Tnn::new(5, 1);
+    let mut group = c.benchmark_group("parallel_sweep");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(threads),
+            &threads,
+            |b, &threads| {
+                let engine = SearchEngine::new(threads);
+                b.iter(|| {
+                    // T_{5,1} is 5-discerning but not 6-discerning: this is
+                    // the full-space refutation at n = 6.
+                    assert!(engine
+                        .find_discerning_witness(&t, 6)
+                        .expect("level in range")
+                        .is_none());
+                });
+            },
+        );
+    }
+    group.finish();
+    let engine = SearchEngine::new(0);
+    let c4 = engine.classify(&t, 5).expect("cap in range");
+    criterion::black_box(c4);
+    println!(
+        "engine stats after classify(T_5,1, cap 5): {}",
+        engine.stats()
+    );
+}
+
 criterion_group!(
     benches,
     discerning_sweep,
     discerning_refutation,
     recording_sweep,
-    zoo_classification
+    zoo_classification,
+    parallel_refutation_sweep
 );
 criterion_main!(benches);

@@ -49,9 +49,8 @@ fn modelcheck_tournament(c: &mut Criterion) {
         let inputs: Vec<u32> = (0..n as u32).map(|i| i % 2).collect();
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                let sys =
-                    TournamentConsensus::try_new(Arc::new(StickyBit::new()), inputs.clone())
-                        .unwrap();
+                let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), inputs.clone())
+                    .unwrap();
                 let report = check_consensus(&sys, 10_000_000).unwrap();
                 assert!(report.verdict.is_correct());
                 report.configs
@@ -65,8 +64,7 @@ fn modelcheck_tournament(c: &mut Criterion) {
 fn critical_search(c: &mut Criterion) {
     c.bench_function("critical_search_sticky_2proc", |b| {
         b.iter(|| {
-            let sys =
-                TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![0, 1]).unwrap();
+            let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![0, 1]).unwrap();
             let graph = BudgetedGraph::explore(&sys, 1, 6, 1_000_000).unwrap();
             let critical = graph.find_critical().expect("critical exists");
             graph.analyze_critical(critical).schedule.len()

@@ -42,8 +42,8 @@ fn tournament_threaded(c: &mut Criterion) {
     group.sample_size(15);
     for n in [2usize, 4, 8] {
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), mixed_inputs(n))
-                .unwrap();
+            let sys =
+                TournamentConsensus::try_new(Arc::new(StickyBit::new()), mixed_inputs(n)).unwrap();
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;

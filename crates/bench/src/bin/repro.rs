@@ -8,7 +8,10 @@
 
 use rcn_bench::{mixed_inputs, readable_zoo};
 use rcn_core::{shipped_xn, HierarchyReport};
-use rcn_decide::{classify, explain_recording, is_n_discerning, is_n_recording, Bound, Team, Witness};
+use rcn_decide::{
+    classify, explain_recording, is_n_discerning, is_n_recording, Bound, SearchEngine, Team,
+    Witness,
+};
 use rcn_protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
 use rcn_runtime::{run_threaded, RunOptions};
 use rcn_spec::dot::{to_dot, to_table_text};
@@ -68,8 +71,14 @@ fn e1_fig3() {
     let t = Tnn::new(5, 2);
     // Check the §4 prose point-by-point.
     assert_eq!(t.num_values(), 10, "2n values");
-    assert_eq!(t.apply(t.s(), t.op_x(0)), rcn_spec::Outcome::new(Response(0), t.s_xi(0, 1)));
-    assert_eq!(t.apply(t.s(), t.op_x(1)), rcn_spec::Outcome::new(Response(1), t.s_xi(1, 1)));
+    assert_eq!(
+        t.apply(t.s(), t.op_x(0)),
+        rcn_spec::Outcome::new(Response(0), t.s_xi(0, 1))
+    );
+    assert_eq!(
+        t.apply(t.s(), t.op_x(1)),
+        rcn_spec::Outcome::new(Response(1), t.s_xi(1, 1))
+    );
     for x in 0..2 {
         for i in 1..4 {
             for op in 0..2 {
@@ -106,8 +115,20 @@ fn e1_fig3() {
 /// and refutes (n+1)-discerning across a parameter sweep.
 fn e2_lemma15() {
     banner("E2 (Lemma 15)", "consensus number of T_(n,n') is n");
-    println!("{:<10} {:>14} {:>18}", "type", "n-discerning", "(n+1)-discerning");
-    for (n, n_prime) in [(2, 1), (3, 1), (3, 2), (4, 1), (4, 2), (4, 3), (5, 2), (5, 4)] {
+    println!(
+        "{:<10} {:>14} {:>18}",
+        "type", "n-discerning", "(n+1)-discerning"
+    );
+    for (n, n_prime) in [
+        (2, 1),
+        (3, 1),
+        (3, 2),
+        (4, 1),
+        (4, 2),
+        (4, 3),
+        (5, 2),
+        (5, 4),
+    ] {
         let t = Tnn::new(n, n_prime);
         let pos = is_n_discerning(&t, n);
         let neg = is_n_discerning(&t, n + 1);
@@ -122,20 +143,35 @@ fn e2_lemma15() {
 /// plus the wait-free algorithm correct crash-free and broken with crashes,
 /// plus threaded runs.
 fn e3_lemma16() {
-    banner("E3 (Lemma 16)", "recoverable consensus number of T_(n,n') is n'");
+    banner(
+        "E3 (Lemma 16)",
+        "recoverable consensus number of T_(n,n') is n'",
+    );
     for (n, n_prime) in [(3usize, 1usize), (4, 2), (5, 2), (4, 3)] {
         // n' = 1 is the degenerate single-process case (one input).
-        let inputs_ok = if n_prime >= 2 { mixed_inputs(n_prime) } else { vec![1] };
+        let inputs_ok = if n_prime >= 2 {
+            mixed_inputs(n_prime)
+        } else {
+            vec![1]
+        };
         let sys_ok = TnnRecoverable::system(n, n_prime, inputs_ok);
         let r_ok = check_consensus(&sys_ok, 10_000_000).expect("state space fits");
         let sys_bad = TnnRecoverable::system(n, n_prime, mixed_inputs(n_prime + 1));
         let r_bad = check_consensus(&sys_bad, 10_000_000).expect("state space fits");
         println!(
             "T_({n},{n_prime}): @{n_prime} procs {} [{} configs] | @{} procs {}",
-            if r_ok.verdict.is_correct() { "correct ✓" } else { "BROKEN ✗" },
+            if r_ok.verdict.is_correct() {
+                "correct ✓"
+            } else {
+                "BROKEN ✗"
+            },
             r_ok.configs,
             n_prime + 1,
-            if r_bad.verdict.is_correct() { "correct (UNEXPECTED)" } else { "violation found ✓" },
+            if r_bad.verdict.is_correct() {
+                "correct (UNEXPECTED)"
+            } else {
+                "violation found ✓"
+            },
         );
         assert!(r_ok.verdict.is_correct());
         assert!(!r_bad.verdict.is_correct());
@@ -148,8 +184,16 @@ fn e3_lemma16() {
     let crashy = check_consensus(&sys, 10_000_000).expect("fits");
     println!(
         "wait-free T_(4,2) @4 procs: crash-free {} | with crashes {}",
-        if crash_free_verdict.is_correct() { "correct ✓" } else { "BROKEN ✗" },
-        if crashy.verdict.is_correct() { "correct (UNEXPECTED)" } else { "violation found ✓" },
+        if crash_free_verdict.is_correct() {
+            "correct ✓"
+        } else {
+            "BROKEN ✗"
+        },
+        if crashy.verdict.is_correct() {
+            "correct (UNEXPECTED)"
+        } else {
+            "violation found ✓"
+        },
     );
     assert!(crash_free_verdict.is_correct());
     assert!(!crashy.verdict.is_correct());
@@ -157,7 +201,17 @@ fn e3_lemma16() {
     let mut clean = 0;
     for seed in 0..30 {
         let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
-        if run_threaded(&sys, RunOptions { seed, crash_prob: 0.25, max_crashes: 4, ..Default::default() }).is_clean_consensus() {
+        if run_threaded(
+            &sys,
+            RunOptions {
+                seed,
+                crash_prob: 0.25,
+                max_crashes: 4,
+                ..Default::default()
+            },
+        )
+        .is_clean_consensus()
+        {
             clean += 1;
         }
     }
@@ -169,7 +223,10 @@ fn e3_lemma16() {
 /// bivalence, critical execution, teams, common object, Observation 11
 /// classification.
 fn e4_valency() {
-    banner("E4 (Theorem 13 machinery, Figures 1-2)", "critical executions in E_z*");
+    banner(
+        "E4 (Theorem 13 machinery, Figures 1-2)",
+        "critical executions in E_z*",
+    );
     for (label, sys) in [
         (
             "sticky-bit tournament, 2 procs",
@@ -195,8 +252,12 @@ fn e4_valency() {
             graph.len(),
             info.schedule,
             teams.join(", "),
-            info.object.map(|o| sys.layout().name(o).to_string()).unwrap_or_else(|| "??".into()),
-            info.class.map(|c| c.to_string()).unwrap_or_else(|| "n/a".into()),
+            info.object
+                .map(|o| sys.layout().name(o).to_string())
+                .unwrap_or_else(|| "??".into()),
+            info.class
+                .map(|c| c.to_string())
+                .unwrap_or_else(|| "n/a".into()),
         );
     }
     // The Theorem 13 chain walk (Figures 1-2): for every correct protocol
@@ -215,20 +276,34 @@ fn e4_valency() {
 /// E5 / Theorem 14: the hierarchy table over the readable zoo and the
 /// robust level of type sets.
 fn e5_hierarchy() {
-    banner("E5 (Theorem 14)", "robustness: classification of the readable zoo");
+    banner(
+        "E5 (Theorem 14)",
+        "robustness: classification of the readable zoo",
+    );
+    let engine = SearchEngine::new(0); // one worker per core
     let mut report = HierarchyReport::new(4);
-    for ty in readable_zoo() {
-        report.add(&*ty);
-    }
-    report.add(&Tnn::new(4, 3));
-    report.add(&TeamCounter::new(4));
+    let mut types: Vec<Box<dyn ObjectType + Send + Sync>> = readable_zoo();
+    types.push(Box::new(Tnn::new(4, 3)));
+    types.push(Box::new(TeamCounter::new(4)));
+    report
+        .add_all(&types, &engine)
+        .expect("cap 4 within engine range");
     println!("{report}");
+    let workers = engine.threads();
+    println!(
+        "search engine ({workers} thread{}): {}",
+        if workers == 1 { "" } else { "s" },
+        engine.stats()
+    );
     println!("(readable types: CN = discerning number, RCN = recording number, by Ruppert + Thm 13 + DFFR Thm 8)");
 }
 
 /// E6: the `X_n` corollary — a readable type with CN n and RCN n−2.
 fn e6_xn() {
-    banner("E6 (X_n corollary)", "readable type with CN n, RCN n−2 (n = 4)");
+    banner(
+        "E6 (X_n corollary)",
+        "readable type with CN n, RCN n−2 (n = 4)",
+    );
     match shipped_xn(4) {
         Some(x4) => {
             let c = classify(&x4, 5);
@@ -258,7 +333,10 @@ fn e6_xn() {
 /// decider facts and a concrete crash counterexample for the classic
 /// protocol.
 fn e7_tas() {
-    banner("E7 (Golab)", "test-and-set: consensus 2, recoverable consensus 1");
+    banner(
+        "E7 (Golab)",
+        "test-and-set: consensus 2, recoverable consensus 1",
+    );
     let tas = rcn_spec::zoo::TestAndSet::new();
     println!(
         "decider: 2-discerning={} (⇒ CN ≥ 2), 2-recording={} (⇒ RCN < 2 by Thm 13)",
@@ -286,15 +364,46 @@ fn e7_tas() {
 /// E8: sanity of the consensus hierarchy levels against Herlihy's known
 /// values for the readable zoo.
 fn e8_zoo() {
-    banner("E8 (hierarchy sanity)", "decider levels vs known consensus numbers");
+    banner(
+        "E8 (hierarchy sanity)",
+        "decider levels vs known consensus numbers",
+    );
     let expectations: Vec<(Box<dyn ObjectType + Send + Sync>, Bound, Bound)> = vec![
-        (Box::new(rcn_spec::zoo::Register::new(2)), Bound::Exact(1), Bound::Exact(1)),
-        (Box::new(rcn_spec::zoo::TestAndSet::new()), Bound::Exact(2), Bound::Exact(1)),
-        (Box::new(rcn_spec::zoo::FetchAndAdd::new(4)), Bound::Exact(2), Bound::Exact(1)),
-        (Box::new(rcn_spec::zoo::Swap::new(2)), Bound::Exact(2), Bound::Exact(1)),
-        (Box::new(rcn_spec::zoo::CompareAndSwap::new(3)), Bound::AtLeast(4), Bound::AtLeast(4)),
-        (Box::new(rcn_spec::zoo::StickyBit::new()), Bound::AtLeast(4), Bound::AtLeast(4)),
-        (Box::new(rcn_spec::zoo::ConsensusObject::new()), Bound::AtLeast(4), Bound::AtLeast(4)),
+        (
+            Box::new(rcn_spec::zoo::Register::new(2)),
+            Bound::Exact(1),
+            Bound::Exact(1),
+        ),
+        (
+            Box::new(rcn_spec::zoo::TestAndSet::new()),
+            Bound::Exact(2),
+            Bound::Exact(1),
+        ),
+        (
+            Box::new(rcn_spec::zoo::FetchAndAdd::new(4)),
+            Bound::Exact(2),
+            Bound::Exact(1),
+        ),
+        (
+            Box::new(rcn_spec::zoo::Swap::new(2)),
+            Bound::Exact(2),
+            Bound::Exact(1),
+        ),
+        (
+            Box::new(rcn_spec::zoo::CompareAndSwap::new(3)),
+            Bound::AtLeast(4),
+            Bound::AtLeast(4),
+        ),
+        (
+            Box::new(rcn_spec::zoo::StickyBit::new()),
+            Bound::AtLeast(4),
+            Bound::AtLeast(4),
+        ),
+        (
+            Box::new(rcn_spec::zoo::ConsensusObject::new()),
+            Bound::AtLeast(4),
+            Bound::AtLeast(4),
+        ),
     ];
     println!("{:<24} {:>8} {:>8}  match", "type", "CN", "RCN");
     for (ty, cn, rcn) in expectations {
@@ -316,7 +425,10 @@ fn e8_zoo() {
 /// E9: universality (§1) — the one-shot universal simulation of an
 /// arbitrary object from consensus slots, verified exhaustively.
 fn e9_universal() {
-    banner("E9 (universality, §1)", "recoverable simulation of arbitrary objects");
+    banner(
+        "E9 (universality, §1)",
+        "recoverable simulation of arbitrary objects",
+    );
     use rcn_spec::ValueId;
     use rcn_universal::{verify_simulation, UniversalSim};
     let q = rcn_spec::zoo::BoundedQueue::new(2, 3);
@@ -349,7 +461,10 @@ fn e9_universal() {
 /// read operation lifts it to the top of both hierarchies, and the
 /// tournament construction then solves recoverable consensus from it.
 fn e10_readability() {
-    banner("E10 (readability)", "augmented queue: read turns CN 2 into CN ∞");
+    banner(
+        "E10 (readability)",
+        "augmented queue: read turns CN 2 into CN ∞",
+    );
     use rcn_spec::zoo::{BoundedQueue, WithRead};
     let plain = BoundedQueue::new(2, 2);
     let aug = WithRead::new(BoundedQueue::new(2, 2));
@@ -363,11 +478,9 @@ fn e10_readability() {
         "queue<2,2>+read  : readable={} CN={} RCN={}",
         c_aug.readable, c_aug.consensus_number, c_aug.recoverable_consensus_number
     );
-    let sys = rcn_core::solve_recoverable(
-        Arc::new(WithRead::new(BoundedQueue::new(2, 2))),
-        vec![0, 1],
-    )
-    .expect("augmented queue has witnesses");
+    let sys =
+        rcn_core::solve_recoverable(Arc::new(WithRead::new(BoundedQueue::new(2, 2))), vec![0, 1])
+            .expect("augmented queue has witnesses");
     let report = check_consensus(&sys, 10_000_000).expect("fits");
     println!(
         "tournament over queue+read, 2 procs: {} ({} configs)",

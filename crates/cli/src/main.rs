@@ -14,10 +14,7 @@
 
 mod types;
 
-use rcn_decide::{
-    classify, explain_discerning, explain_recording, find_discerning_witness,
-    find_recording_witness,
-};
+use rcn_decide::{explain_discerning, explain_recording, SearchEngine};
 use rcn_protocols::TnnRecoverable;
 use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_valency::check_consensus;
@@ -69,6 +66,13 @@ fn print_help() {
     println!("  classify <type> [--cap N]           CN and RCN of a type (default cap 4)");
     println!("  compare <type>… [--cap N]           hierarchy table over several types");
     println!("  witness <type> <n> [kind]           find + explain a discerning/recording witness");
+    println!();
+    println!("search options (classify, compare, witness):");
+    println!(
+        "  --threads N                         search worker threads (0 = all cores, default 1)"
+    );
+    println!("  --stats                             print search statistics (analyses, cache hits, wall time)");
+    println!();
     println!("  dot <type> [--self-loops]           Graphviz state machine");
     println!("  table <type>                        transition table");
     println!("  solve <type> <input>…               build + verify recoverable consensus");
@@ -89,23 +93,45 @@ fn positional<'a>(args: &'a [&'a str]) -> impl Iterator<Item = &'a str> + 'a {
             return false;
         }
         if a.starts_with("--") {
-            skip_next = *a == "--cap"; // flags with values
+            skip_next = matches!(*a, "--cap" | "--threads"); // flags with values
             return false;
         }
         true
     })
 }
 
+/// Builds the search engine from `--threads` (default: 1 worker, i.e. the
+/// plain sequential search; 0 = one worker per core).
+fn engine_from_args(args: &[&str]) -> Result<SearchEngine, String> {
+    let threads: usize = flag_value(args, "--threads")
+        .map(|v| v.parse().map_err(|_| "threads must be a number"))
+        .transpose()?
+        .unwrap_or(1);
+    Ok(SearchEngine::new(threads))
+}
+
+fn maybe_print_stats(args: &[&str], engine: &SearchEngine) {
+    if args.contains(&"--stats") {
+        let n = engine.threads();
+        println!(
+            "search stats        : {} ({n} thread{})",
+            engine.stats(),
+            if n == 1 { "" } else { "s" }
+        );
+    }
+}
+
 fn cmd_classify(args: &[&str]) -> Result<(), String> {
     let spec = positional(args)
         .next()
-        .ok_or("usage: rcn classify <type> [--cap N]")?;
+        .ok_or("usage: rcn classify <type> [--cap N] [--threads N] [--stats]")?;
     let cap: usize = flag_value(args, "--cap")
         .map(|v| v.parse().map_err(|_| "cap must be a number"))
         .transpose()?
         .unwrap_or(4);
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    let c = classify(&*ty, cap);
+    let engine = engine_from_args(args)?;
+    let c = engine.classify(&*ty, cap).map_err(|e| e.to_string())?;
     println!("type                : {}", c.type_name);
     println!("readable            : {}", c.readable);
     println!("discerning number   : {}", c.discerning.display_level());
@@ -118,6 +144,7 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
     if let Some(w) = &c.recording.witness {
         println!("recording witness   : {}", w.describe(&*ty));
     }
+    maybe_print_stats(args, &engine);
     Ok(())
 }
 
@@ -128,14 +155,20 @@ fn cmd_compare(args: &[&str]) -> Result<(), String> {
         .unwrap_or(4);
     let specs: Vec<&str> = positional(args).collect();
     if specs.is_empty() {
-        return Err("usage: rcn compare <type>… [--cap N]".into());
+        return Err("usage: rcn compare <type>… [--cap N] [--threads N] [--stats]".into());
     }
+    if cap < 2 {
+        return Err("cap must be at least 2".into());
+    }
+    let types = specs
+        .iter()
+        .map(|spec| parse_type(spec).map_err(|e| e.to_string()))
+        .collect::<Result<Vec<_>, _>>()?;
+    let engine = engine_from_args(args)?;
     let mut report = rcn_core::HierarchyReport::new(cap);
-    for spec in specs {
-        let ty = parse_type(spec).map_err(|e| e.to_string())?;
-        report.add(&*ty);
-    }
+    report.add_all(&types, &engine).map_err(|e| e.to_string())?;
     println!("{report}");
+    maybe_print_stats(args, &engine);
     Ok(())
 }
 
@@ -149,17 +182,29 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
         .map_err(|_| "n must be a number ≥ 2")?;
     let kind = pos.next().unwrap_or("recording");
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
+    let engine = engine_from_args(args)?;
     match kind {
-        "discerning" => match find_discerning_witness(&*ty, n) {
+        "discerning" => match engine
+            .find_discerning_witness(&*ty, n)
+            .map_err(|e| e.to_string())?
+        {
             Some(w) => print!("{}", explain_discerning(&*ty, &w)),
             None => println!("{} is NOT {n}-discerning (no witness exists)", ty.name()),
         },
-        "recording" => match find_recording_witness(&*ty, n) {
+        "recording" => match engine
+            .find_recording_witness(&*ty, n)
+            .map_err(|e| e.to_string())?
+        {
             Some(w) => print!("{}", explain_recording(&*ty, &w)),
             None => println!("{} is NOT {n}-recording (no witness exists)", ty.name()),
         },
-        other => return Err(format!("kind must be `discerning` or `recording`, got `{other}`")),
+        other => {
+            return Err(format!(
+                "kind must be `discerning` or `recording`, got `{other}`"
+            ))
+        }
     }
+    maybe_print_stats(args, &engine);
     Ok(())
 }
 
@@ -191,7 +236,9 @@ fn parse_inputs_slice(items: &[&str]) -> Result<Vec<u32>, String> {
 
 fn cmd_solve(args: &[&str]) -> Result<(), String> {
     let pos: Vec<&str> = positional(args).collect();
-    let (spec, rest) = pos.split_first().ok_or("usage: rcn solve <type> <input>…")?;
+    let (spec, rest) = pos
+        .split_first()
+        .ok_or("usage: rcn solve <type> <input>…")?;
     let inputs = parse_inputs_slice(rest)?;
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
     let sys = rcn_core::solve_recoverable(ty, inputs).map_err(|e| e.to_string())?;
@@ -254,6 +301,44 @@ mod tests {
     fn classify_runs_on_small_types() {
         assert!(run(&s(&["classify", "tas"])).is_ok());
         assert!(run(&s(&["classify", "register:2", "--cap", "3"])).is_ok());
+    }
+
+    #[test]
+    fn classify_accepts_threads_and_stats_flags() {
+        assert!(run(&s(&["classify", "tas", "--threads", "2", "--stats"])).is_ok());
+        assert!(run(&s(&["classify", "tas", "--threads", "0"])).is_ok());
+        assert!(run(&s(&[
+            "witness",
+            "sticky",
+            "3",
+            "recording",
+            "--threads",
+            "2",
+            "--stats"
+        ]))
+        .is_ok());
+        assert!(run(&s(&[
+            "compare",
+            "tas",
+            "register:2",
+            "--threads",
+            "2",
+            "--cap",
+            "3",
+            "--stats"
+        ]))
+        .is_ok());
+        // A flag value must not be eaten as a positional type name.
+        assert!(run(&s(&["classify", "--threads", "2", "tas"])).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_caps_error_instead_of_panicking() {
+        assert!(run(&s(&["classify", "tas", "--cap", "25"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--cap", "1"])).is_err());
+        assert!(run(&s(&["witness", "tas", "25", "recording"])).is_err());
+        assert!(run(&s(&["compare", "tas", "--cap", "25"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--threads", "x"])).is_err());
     }
 
     #[test]

@@ -40,7 +40,10 @@ impl std::error::Error for ParseTypeError {}
 
 /// The catalogue shown by `rcn types`.
 pub const CATALOGUE: &[(&str, &str)] = &[
-    ("register:D", "read/write register over D values (default 2)"),
+    (
+        "register:D",
+        "read/write register over D values (default 2)",
+    ),
     ("tas", "test-and-set bit"),
     ("faa:M", "fetch-and-add modulo M (default 4)"),
     ("swap:D", "swap over D values (default 2)"),
@@ -48,13 +51,22 @@ pub const CATALOGUE: &[(&str, &str)] = &[
     ("sticky", "Plotkin sticky bit"),
     ("consensus", "binary consensus object"),
     ("mconsensus:D", "multi-valued consensus over D proposals"),
-    ("queue:A,C", "bounded FIFO queue, alphabet A, capacity C (default 2,2)"),
+    (
+        "queue:A,C",
+        "bounded FIFO queue, alphabet A, capacity C (default 2,2)",
+    ),
     ("stack:A,C", "bounded LIFO stack (default 2,2)"),
     ("tnn:N,N'", "the paper's T_{n,n'} (default 5,2)"),
-    ("team-counter:N", "readable gap-1 family, CN N / RCN N-1 (default 4)"),
+    (
+        "team-counter:N",
+        "readable gap-1 family, CN N / RCN N-1 (default 4)",
+    ),
     ("xn:N", "synthesized X_N reconstruction (shipped: N = 4)"),
     ("table:FILE", "a TableType from a JSON file"),
-    ("<expr>+read", "augment any of the above with a read operation"),
+    (
+        "<expr>+read",
+        "augment any of the above with a read operation",
+    ),
 ];
 
 fn args_of(spec: &str) -> (&str, Vec<usize>) {
@@ -133,8 +145,19 @@ mod tests {
     #[test]
     fn parses_every_catalogue_entry_with_defaults() {
         for spec in [
-            "register", "tas", "faa", "swap", "cas", "sticky", "consensus",
-            "mconsensus", "queue", "stack", "tnn", "team-counter", "xn",
+            "register",
+            "tas",
+            "faa",
+            "swap",
+            "cas",
+            "sticky",
+            "consensus",
+            "mconsensus",
+            "queue",
+            "stack",
+            "tnn",
+            "team-counter",
+            "xn",
         ] {
             assert!(parse_type(spec).is_ok(), "{spec}");
         }

@@ -1,9 +1,11 @@
 //! Hierarchy reports: classify a set of types and render the comparison
 //! table that experiment E5/E8 prints.
 
-use rcn_decide::{classify, robust_level, TypeClassification};
+use rcn_decide::{classify, robust_level, SearchEngine, SearchError, TypeClassification};
 use rcn_spec::ObjectType;
 use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
 
 /// A classification report over a set of types.
 ///
@@ -43,6 +45,75 @@ impl HierarchyReport {
     pub fn add<T: ObjectType + ?Sized>(&mut self, ty: &T) -> &TypeClassification {
         self.classes.push(classify(ty, self.cap));
         self.classes.last().expect("just pushed")
+    }
+
+    /// Classifies a type through a [`SearchEngine`] (instrumented, and
+    /// parallel at the instance level when the engine has >1 thread) and
+    /// appends it to the report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if the report's cap is out of the engine's
+    /// supported range.
+    pub fn add_with<T: ObjectType + Sync + ?Sized>(
+        &mut self,
+        ty: &T,
+        engine: &SearchEngine,
+    ) -> Result<&TypeClassification, SearchError> {
+        self.classes.push(engine.classify(ty, self.cap)?);
+        Ok(self.classes.last().expect("just pushed"))
+    }
+
+    /// Classifies a whole set of types concurrently — one type per worker
+    /// thread, up to the engine's thread count — and appends the results in
+    /// input order. Stats accumulate on `engine` across all workers.
+    ///
+    /// Per-type searches run sequentially inside each worker (the
+    /// coarse-grained sharding already saturates the engine's width), so
+    /// the total thread count stays at `engine.threads()`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`SearchError`] encountered; in that case no
+    /// classifications are appended.
+    pub fn add_all<T>(&mut self, types: &[T], engine: &SearchEngine) -> Result<(), SearchError>
+    where
+        T: std::ops::Deref + Sync,
+        T::Target: ObjectType + Sync,
+    {
+        let workers = engine.threads().min(types.len()).max(1);
+        let cap = self.cap;
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<TypeClassification, SearchError>>>> =
+            types.iter().map(|_| Mutex::new(None)).collect();
+
+        let worker = || loop {
+            let i = next.fetch_add(1, Ordering::Relaxed);
+            let Some(ty) = types.get(i) else { break };
+            let result = engine.classify_with(&**ty, cap, 1);
+            *slots[i].lock().expect("classification slot") = Some(result);
+        };
+
+        if workers <= 1 {
+            worker();
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(worker);
+                }
+            });
+        }
+
+        let mut classified = Vec::with_capacity(types.len());
+        for slot in slots {
+            classified.push(
+                slot.into_inner()
+                    .expect("classification slot")
+                    .expect("every index claimed")?,
+            );
+        }
+        self.classes.extend(classified);
+        Ok(())
     }
 
     /// The classifications so far.
@@ -107,6 +178,40 @@ mod tests {
         assert!(text.contains("test-and-set"));
         assert!(text.contains("sticky-bit"));
         assert!(text.contains("robust level of the set: 3"));
+    }
+
+    #[test]
+    fn add_all_matches_sequential_adds_in_order() {
+        let types: Vec<Box<dyn ObjectType + Send + Sync>> = vec![
+            Box::new(Register::new(2)),
+            Box::new(TestAndSet::new()),
+            Box::new(StickyBit::new()),
+        ];
+        let mut sequential = HierarchyReport::new(3);
+        for ty in &types {
+            sequential.add(&**ty);
+        }
+        let engine = SearchEngine::new(3);
+        let mut concurrent = HierarchyReport::new(3);
+        concurrent.add_all(&types, &engine).expect("cap in range");
+        assert_eq!(concurrent.classes().len(), 3);
+        for (a, b) in sequential.classes().iter().zip(concurrent.classes()) {
+            assert_eq!(a.type_name, b.type_name, "order preserved");
+            assert_eq!(a.consensus_number, b.consensus_number);
+            assert_eq!(
+                a.recoverable_consensus_number,
+                b.recoverable_consensus_number
+            );
+        }
+        assert!(engine.stats().analyses_computed > 0);
+    }
+
+    #[test]
+    fn add_with_surfaces_engine_errors() {
+        let mut report = HierarchyReport::new(rcn_decide::MAX_PROCESSES + 1);
+        let engine = SearchEngine::sequential();
+        assert!(report.add_with(&Register::new(2), &engine).is_err());
+        assert!(report.classes().is_empty());
     }
 
     #[test]

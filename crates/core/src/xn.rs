@@ -35,8 +35,7 @@ pub fn shipped_xn(n: usize) -> Option<Xn> {
         4 => XN_4_JSON,
         _ => return None,
     };
-    let table: TableType =
-        serde_json::from_str(json).expect("embedded X_n tables deserialize");
+    let table: TableType = serde_json::from_str(json).expect("embedded X_n tables deserialize");
     table.validate().expect("embedded X_n tables are valid");
     Some(Xn::from_table(n, table))
 }

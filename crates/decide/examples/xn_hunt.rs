@@ -8,9 +8,7 @@
 //! instead of n−2) and from random readable tables. On success the winning
 //! table is printed as JSON for embedding.
 
-use rcn_decide::synthesis::{
-    hill_climb, random_readable_table, rng, TargetProfile,
-};
+use rcn_decide::synthesis::{hill_climb, random_readable_table, rng, TargetProfile};
 use rcn_spec::zoo::TeamCounter;
 use rcn_spec::TableType;
 
@@ -60,8 +58,13 @@ fn main() {
 }
 
 fn report_success(n: usize, table: &TableType, profile: &TargetProfile) {
-    let class = profile.classify(table).expect("distance 0 means it matches");
+    let class = profile
+        .classify(table)
+        .expect("distance 0 means it matches");
     println!("FOUND X_{n} candidate!");
     println!("classification: {}", class.row());
-    println!("{}", serde_json::to_string(table).expect("tables serialize"));
+    println!(
+        "{}",
+        serde_json::to_string(table).expect("tables serialize")
+    );
 }

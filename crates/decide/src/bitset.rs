@@ -30,7 +30,11 @@ impl BitSet {
     ///
     /// Panics if `i >= capacity`.
     pub fn insert(&mut self, i: usize) -> bool {
-        assert!(i < self.capacity, "bitset index {i} out of capacity {}", self.capacity);
+        assert!(
+            i < self.capacity,
+            "bitset index {i} out of capacity {}",
+            self.capacity
+        );
         let (w, b) = (i / 64, i % 64);
         let fresh = self.words[w] & (1 << b) == 0;
         self.words[w] |= 1 << b;

@@ -68,10 +68,8 @@ pub fn r_set<T: ObjectType + ?Sized>(
 /// Checks a discerning witness by direct enumeration:
 /// `∀j: R_{0,j} ∩ R_{1,j} = ∅`.
 pub fn check_discerning_brute<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> bool {
-    (0..witness.n()).all(|j| {
-        r_set(ty, witness, Team::T0, j)
-            .is_disjoint(&r_set(ty, witness, Team::T1, j))
-    })
+    (0..witness.n())
+        .all(|j| r_set(ty, witness, Team::T0, j).is_disjoint(&r_set(ty, witness, Team::T1, j)))
 }
 
 /// Checks a recording witness by direct enumeration:
@@ -102,9 +100,20 @@ mod tests {
     use rcn_spec::zoo::{StickyBit, TestAndSet, Tnn};
     use rcn_spec::ValueId;
 
-    fn random_witness(rng: &mut rand::rngs::StdRng, num_values: usize, num_ops: usize, n: usize) -> Witness {
+    fn random_witness(
+        rng: &mut rand::rngs::StdRng,
+        num_values: usize,
+        num_ops: usize,
+        n: usize,
+    ) -> Witness {
         let mut team_of: Vec<Team> = (0..n)
-            .map(|_| if rng.gen_bool(0.5) { Team::T0 } else { Team::T1 })
+            .map(|_| {
+                if rng.gen_bool(0.5) {
+                    Team::T0
+                } else {
+                    Team::T1
+                }
+            })
             .collect();
         team_of[0] = Team::T0;
         if !team_of.contains(&Team::T1) {
@@ -113,7 +122,9 @@ mod tests {
         Witness::new(
             ValueId::new(rng.gen_range(0..num_values) as u16),
             team_of,
-            (0..n).map(|_| OpId(rng.gen_range(0..num_ops) as u16)).collect(),
+            (0..n)
+                .map(|_| OpId(rng.gen_range(0..num_ops) as u16))
+                .collect(),
         )
     }
 

@@ -135,7 +135,7 @@ pub fn classify<T: ObjectType + ?Sized>(ty: &T, cap: usize) -> TypeClassificatio
     }
 }
 
-fn level_to_bound(level: &LevelResult, readable: bool) -> Bound {
+pub(crate) fn level_to_bound(level: &LevelResult, readable: bool) -> Bound {
     match (readable, level.capped) {
         // Readable: the condition characterizes the number exactly.
         (true, false) => Bound::Exact(level.level),

@@ -52,7 +52,7 @@ pub fn check_discerning<T: ObjectType + ?Sized>(
     Ok(pairs_disjoint(&analysis, &t0, &t1))
 }
 
-fn pairs_disjoint(analysis: &Analysis, t0: &[usize], t1: &[usize]) -> bool {
+pub(crate) fn pairs_disjoint(analysis: &Analysis, t0: &[usize], t1: &[usize]) -> bool {
     (0..analysis.n()).all(|j| {
         !analysis
             .pair_set(t0, j)

@@ -1,0 +1,625 @@
+//! The parallel, instrumented search engine behind the deciders.
+//!
+//! Both witness searches iterate the same space: `(initial value, op
+//! multiset)` *instances* — each requiring one [`Analysis`] (the expensive
+//! part) — times a set of team partitions (cheap bitset unions). The engine
+//! shards the instance list across worker threads with a shared claim
+//! counter, cancels all workers as soon as any of them finds a witness, and
+//! memoizes analyses in a cache shared across deciders — [`classify`]
+//! (`SearchEngine::classify`) runs *both* deciders over the same instance
+//! space, so the second decider's scan hits the cache instead of rebuilding
+//! every reachability graph.
+//!
+//! Everything the engine does is observable through [`SearchStats`]:
+//! analyses computed vs. served from cache, partitions tested, instances
+//! visited, and wall time.
+//!
+//! Results are level-deterministic: the engine reports exactly the levels
+//! the sequential deciders report (the space is either exhausted or a
+//! genuine witness is found). The *witness* returned for a positive answer
+//! may differ between runs with >1 thread — any verified witness is a valid
+//! certificate, and [`crate::check_recording`] / [`crate::check_discerning`]
+//! replay them independently.
+
+use crate::classify::{level_to_bound, TypeClassification};
+use crate::discerning::{pairs_disjoint, LevelResult};
+use crate::reach::{Analysis, MAX_PROCESSES};
+use crate::recording::recording_holds;
+use crate::search::{instances, partitions};
+use crate::witness::{Team, Witness};
+use rcn_spec::{ObjectType, OpId, ValueId};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Errors from engine searches (instead of the deep asserts the plain
+/// functions hit).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SearchError {
+    /// The requested level exceeds what the analysis masks support.
+    TooManyProcesses {
+        /// The requested level / process count.
+        n: usize,
+        /// The supported maximum ([`MAX_PROCESSES`]).
+        max: usize,
+    },
+    /// The requested level or cap is below 2 (both conditions need two
+    /// nonempty teams).
+    LevelTooSmall {
+        /// The offending level or cap.
+        n: usize,
+    },
+}
+
+impl fmt::Display for SearchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            SearchError::TooManyProcesses { n, max } => {
+                write!(
+                    f,
+                    "level {n} exceeds the supported maximum of {max} processes"
+                )
+            }
+            SearchError::LevelTooSmall { n } => {
+                write!(f, "level {n} is below 2 (two nonempty teams are required)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SearchError {}
+
+fn validate_level(n: usize) -> Result<(), SearchError> {
+    if n < 2 {
+        Err(SearchError::LevelTooSmall { n })
+    } else if n > MAX_PROCESSES {
+        Err(SearchError::TooManyProcesses {
+            n,
+            max: MAX_PROCESSES,
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// A snapshot of the engine's observability counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Reachability analyses actually computed.
+    pub analyses_computed: u64,
+    /// Analyses served from the memo cache instead of recomputed.
+    pub cache_hits: u64,
+    /// Team partitions evaluated against an analysis.
+    pub partitions_tested: u64,
+    /// `(initial value, op multiset)` instances visited.
+    pub instances_visited: u64,
+    /// Total wall time spent inside engine searches.
+    pub wall_time: Duration,
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} analyses ({} cache hits), {} partitions over {} instances in {:.3?}",
+            self.analyses_computed,
+            self.cache_hits,
+            self.partitions_tested,
+            self.instances_visited,
+            self.wall_time,
+        )
+    }
+}
+
+/// Which of the two conditions a search tests at each partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Condition {
+    Recording,
+    Discerning,
+}
+
+impl Condition {
+    fn holds(self, analysis: &Analysis, u: ValueId, t0: &[usize], t1: &[usize]) -> bool {
+        match self {
+            Condition::Recording => recording_holds(analysis, u, t0, t1),
+            Condition::Discerning => pairs_disjoint(analysis, t0, t1),
+        }
+    }
+}
+
+/// Memo cache of analyses, keyed by instance. Scoped to one type: every
+/// public entry point creates its own cache (and `classify` shares one
+/// across both deciders, which is where the cache earns its keep).
+type AnalysisCache = Mutex<HashMap<(u16, Vec<OpId>), Arc<Analysis>>>;
+
+/// The parallel, instrumented witness-search engine.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_decide::SearchEngine;
+/// use rcn_spec::zoo::TestAndSet;
+///
+/// let engine = SearchEngine::new(2);
+/// let c = engine.classify(&TestAndSet::new(), 4).unwrap();
+/// assert_eq!(c.consensus_number.to_string(), "2");
+/// // Both deciders scanned the same instances: the second scan hit the cache.
+/// assert!(engine.stats().cache_hits > 0);
+/// ```
+pub struct SearchEngine {
+    threads: usize,
+    analyses_computed: AtomicU64,
+    cache_hits: AtomicU64,
+    partitions_tested: AtomicU64,
+    instances_visited: AtomicU64,
+    wall_nanos: AtomicU64,
+}
+
+impl SearchEngine {
+    /// Creates an engine running searches on `threads` worker threads;
+    /// `0` means one worker per available CPU.
+    pub fn new(threads: usize) -> SearchEngine {
+        let threads = if threads == 0 {
+            std::thread::available_parallelism().map_or(1, usize::from)
+        } else {
+            threads
+        };
+        SearchEngine {
+            threads,
+            analyses_computed: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            partitions_tested: AtomicU64::new(0),
+            instances_visited: AtomicU64::new(0),
+            wall_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// An engine that searches on the calling thread only.
+    pub fn sequential() -> SearchEngine {
+        SearchEngine::new(1)
+    }
+
+    /// The number of worker threads searches run on.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the counters accumulated since creation (or the last
+    /// [`reset_stats`](Self::reset_stats)).
+    pub fn stats(&self) -> SearchStats {
+        SearchStats {
+            analyses_computed: self.analyses_computed.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            partitions_tested: self.partitions_tested.load(Ordering::Relaxed),
+            instances_visited: self.instances_visited.load(Ordering::Relaxed),
+            wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Zeroes the counters.
+    pub fn reset_stats(&self) {
+        self.analyses_computed.store(0, Ordering::Relaxed);
+        self.cache_hits.store(0, Ordering::Relaxed);
+        self.partitions_tested.store(0, Ordering::Relaxed);
+        self.instances_visited.store(0, Ordering::Relaxed);
+        self.wall_nanos.store(0, Ordering::Relaxed);
+    }
+
+    /// Searches for an `n`-recording witness (parallel equivalent of
+    /// [`crate::find_recording_witness`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `n < 2` or `n > MAX_PROCESSES`.
+    pub fn find_recording_witness<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        n: usize,
+    ) -> Result<Option<Witness>, SearchError> {
+        validate_level(n)?;
+        let cache = AnalysisCache::default();
+        Ok(self.find_witness(ty, n, Condition::Recording, &cache, self.threads))
+    }
+
+    /// Searches for an `n`-discerning witness (parallel equivalent of
+    /// [`crate::find_discerning_witness`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `n < 2` or `n > MAX_PROCESSES`.
+    pub fn find_discerning_witness<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        n: usize,
+    ) -> Result<Option<Witness>, SearchError> {
+        validate_level(n)?;
+        let cache = AnalysisCache::default();
+        Ok(self.find_witness(ty, n, Condition::Discerning, &cache, self.threads))
+    }
+
+    /// Computes the recording number up to `cap` (parallel equivalent of
+    /// [`crate::recording_number`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    pub fn recording_number<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        cap: usize,
+    ) -> Result<LevelResult, SearchError> {
+        validate_level(cap)?;
+        let cache = AnalysisCache::default();
+        Ok(self.level_scan(ty, cap, Condition::Recording, &cache, self.threads))
+    }
+
+    /// Computes the discerning number up to `cap` (parallel equivalent of
+    /// [`crate::discerning_number`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    pub fn discerning_number<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        cap: usize,
+    ) -> Result<LevelResult, SearchError> {
+        validate_level(cap)?;
+        let cache = AnalysisCache::default();
+        Ok(self.level_scan(ty, cap, Condition::Discerning, &cache, self.threads))
+    }
+
+    /// Classifies a type by running both deciders up to `cap` over a
+    /// *shared* analysis cache (parallel equivalent of [`crate::classify`]).
+    ///
+    /// Both deciders visit the same `(u, ops)` instances at each level, so
+    /// the second scan is served largely from cache — visible as
+    /// `cache_hits` in [`stats`](Self::stats).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    pub fn classify<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        cap: usize,
+    ) -> Result<TypeClassification, SearchError> {
+        self.classify_with(ty, cap, self.threads)
+    }
+
+    /// Like [`classify`](Self::classify), but overriding the worker count
+    /// for this call. Callers that parallelize at a coarser grain (e.g. one
+    /// type per thread across a whole zoo) pass `1` to keep the total
+    /// thread count at the engine's configured width.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    pub fn classify_with<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        cap: usize,
+        threads: usize,
+    ) -> Result<TypeClassification, SearchError> {
+        validate_level(cap)?;
+        let threads = threads.max(1);
+        let cache = AnalysisCache::default();
+        let readable = ty.is_readable();
+        let discerning = self.level_scan(ty, cap, Condition::Discerning, &cache, threads);
+        let recording = self.level_scan(ty, cap, Condition::Recording, &cache, threads);
+        let consensus_number = level_to_bound(&discerning, readable);
+        let recoverable_consensus_number = level_to_bound(&recording, readable);
+        Ok(TypeClassification {
+            type_name: ty.name(),
+            readable,
+            discerning,
+            recording,
+            consensus_number,
+            recoverable_consensus_number,
+        })
+    }
+
+    /// Scans `n = 2..=cap`, stopping at the first refuted level — the same
+    /// linear scan the sequential deciders use (both conditions are
+    /// monotone in `n`).
+    fn level_scan<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        cap: usize,
+        cond: Condition,
+        cache: &AnalysisCache,
+        threads: usize,
+    ) -> LevelResult {
+        let mut best = LevelResult {
+            level: 1,
+            capped: false,
+            witness: None,
+        };
+        for n in 2..=cap {
+            match self.find_witness(ty, n, cond, cache, threads) {
+                Some(w) => {
+                    best = LevelResult {
+                        level: n,
+                        capped: n == cap,
+                        witness: Some(w),
+                    };
+                }
+                None => return best,
+            }
+        }
+        best
+    }
+
+    /// The parallel witness search over one level: shard the instance list
+    /// across workers, cancel everyone on the first hit.
+    fn find_witness<T: ObjectType + Sync + ?Sized>(
+        &self,
+        ty: &T,
+        n: usize,
+        cond: Condition,
+        cache: &AnalysisCache,
+        threads: usize,
+    ) -> Option<Witness> {
+        let start = Instant::now();
+        let space: Vec<(ValueId, Vec<OpId>)> =
+            instances(ty.num_values(), ty.num_ops(), n).collect();
+        let parts: Vec<Vec<Team>> = partitions(n).collect();
+        let teams_of: Vec<(Vec<usize>, Vec<usize>)> = parts
+            .iter()
+            .map(|teams| {
+                let t0 = (0..n).filter(|&i| teams[i] == Team::T0).collect();
+                let t1 = (0..n).filter(|&i| teams[i] == Team::T1).collect();
+                (t0, t1)
+            })
+            .collect();
+
+        let next = AtomicUsize::new(0);
+        let stop = AtomicBool::new(false);
+        // Earliest-instance witness found so far, so more threads can only
+        // improve (not degrade) how canonical the returned witness is.
+        let found: Mutex<Option<(usize, Witness)>> = Mutex::new(None);
+
+        let worker = |budget: &SearchEngine| {
+            let mut local_instances = 0u64;
+            let mut local_partitions = 0u64;
+            loop {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((u, ops)) = space.get(i) else { break };
+                let analysis = budget.analysis_for(ty, *u, ops, cache);
+                local_instances += 1;
+                for (p, (t0, t1)) in teams_of.iter().enumerate() {
+                    local_partitions += 1;
+                    if cond.holds(&analysis, *u, t0, t1) {
+                        let witness = Witness::new(*u, parts[p].clone(), ops.clone());
+                        let mut slot = found.lock().expect("witness slot");
+                        match &*slot {
+                            Some((best_i, _)) if *best_i <= i => {}
+                            _ => *slot = Some((i, witness)),
+                        }
+                        stop.store(true, Ordering::Relaxed);
+                        break;
+                    }
+                }
+            }
+            budget
+                .instances_visited
+                .fetch_add(local_instances, Ordering::Relaxed);
+            budget
+                .partitions_tested
+                .fetch_add(local_partitions, Ordering::Relaxed);
+        };
+
+        let workers = threads.max(1).min(space.len().max(1));
+        if workers <= 1 {
+            worker(self);
+        } else {
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| worker(self));
+                }
+            });
+        }
+
+        self.wall_nanos.fetch_add(
+            u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
+            Ordering::Relaxed,
+        );
+        let result = found.into_inner().expect("witness slot");
+        result.map(|(_, w)| w)
+    }
+
+    /// Gets the analysis of one instance, from cache if available.
+    fn analysis_for<T: ObjectType + ?Sized>(
+        &self,
+        ty: &T,
+        u: ValueId,
+        ops: &[OpId],
+        cache: &AnalysisCache,
+    ) -> Arc<Analysis> {
+        let key = (u.index() as u16, ops.to_vec());
+        if let Some(hit) = cache.lock().expect("analysis cache").get(&key) {
+            self.cache_hits.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(hit);
+        }
+        // Compute outside the lock so analyses build in parallel; a rare
+        // duplicate computation under a race just warms the same entry.
+        let analysis = Arc::new(Analysis::new(ty, u, ops));
+        self.analyses_computed.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(
+            cache
+                .lock()
+                .expect("analysis cache")
+                .entry(key)
+                .or_insert(analysis),
+        )
+    }
+}
+
+/// Computes the recording number with cap validation instead of asserts:
+/// sequential convenience wrapper over [`SearchEngine::recording_number`].
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+pub fn try_recording_number<T: ObjectType + Sync + ?Sized>(
+    ty: &T,
+    cap: usize,
+) -> Result<LevelResult, SearchError> {
+    SearchEngine::sequential().recording_number(ty, cap)
+}
+
+/// Computes the discerning number with cap validation instead of asserts:
+/// sequential convenience wrapper over [`SearchEngine::discerning_number`].
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+pub fn try_discerning_number<T: ObjectType + Sync + ?Sized>(
+    ty: &T,
+    cap: usize,
+) -> Result<LevelResult, SearchError> {
+    SearchEngine::sequential().discerning_number(ty, cap)
+}
+
+/// Classifies a type with cap validation instead of asserts: sequential
+/// convenience wrapper over [`SearchEngine::classify`].
+///
+/// # Errors
+///
+/// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+pub fn try_classify<T: ObjectType + Sync + ?Sized>(
+    ty: &T,
+    cap: usize,
+) -> Result<TypeClassification, SearchError> {
+    SearchEngine::sequential().classify(ty, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{
+        check_discerning, check_recording, discerning_number, is_n_discerning, is_n_recording,
+        recording_number,
+    };
+    use rcn_spec::zoo::{StickyBit, TestAndSet, Tnn};
+
+    #[test]
+    fn engine_agrees_with_sequential_deciders() {
+        let engine = SearchEngine::new(4);
+        for n in 2..=4 {
+            assert_eq!(
+                engine
+                    .find_recording_witness(&TestAndSet::new(), n)
+                    .unwrap()
+                    .is_some(),
+                is_n_recording(&TestAndSet::new(), n),
+                "recording tas n={n}"
+            );
+            assert_eq!(
+                engine
+                    .find_discerning_witness(&StickyBit::new(), n)
+                    .unwrap()
+                    .is_some(),
+                is_n_discerning(&StickyBit::new(), n),
+                "discerning sticky n={n}"
+            );
+        }
+        let t = Tnn::new(4, 2);
+        assert_eq!(
+            engine.recording_number(&t, 5).unwrap().level,
+            recording_number(&t, 5).level
+        );
+        assert_eq!(
+            engine.discerning_number(&t, 5).unwrap().level,
+            discerning_number(&t, 5).level
+        );
+    }
+
+    #[test]
+    fn engine_witnesses_replay() {
+        let engine = SearchEngine::new(3);
+        let w = engine
+            .find_recording_witness(&StickyBit::new(), 3)
+            .unwrap()
+            .expect("sticky is 3-recording");
+        assert_eq!(check_recording(&StickyBit::new(), &w), Ok(true));
+        let w = engine
+            .find_discerning_witness(&TestAndSet::new(), 2)
+            .unwrap()
+            .expect("tas is 2-discerning");
+        assert_eq!(check_discerning(&TestAndSet::new(), &w), Ok(true));
+    }
+
+    #[test]
+    fn classify_shares_the_cache_across_deciders() {
+        let engine = SearchEngine::sequential();
+        let c = engine.classify(&TestAndSet::new(), 4).unwrap();
+        assert_eq!(c.consensus_number.to_string(), "2");
+        assert_eq!(c.recoverable_consensus_number.to_string(), "1");
+        let stats = engine.stats();
+        assert!(stats.cache_hits > 0, "second decider should hit: {stats}");
+        assert!(stats.analyses_computed > 0);
+        assert!(stats.partitions_tested > 0);
+    }
+
+    #[test]
+    fn out_of_range_levels_are_errors_not_panics() {
+        let engine = SearchEngine::sequential();
+        let tas = TestAndSet::new();
+        assert_eq!(
+            engine.find_recording_witness(&tas, MAX_PROCESSES + 1),
+            Err(SearchError::TooManyProcesses {
+                n: MAX_PROCESSES + 1,
+                max: MAX_PROCESSES
+            })
+        );
+        assert_eq!(
+            engine.find_discerning_witness(&tas, 1),
+            Err(SearchError::LevelTooSmall { n: 1 })
+        );
+        assert!(try_recording_number(&tas, 25).is_err());
+        assert!(try_discerning_number(&tas, 0).is_err());
+        assert!(try_classify(&tas, MAX_PROCESSES + 5).is_err());
+    }
+
+    #[test]
+    fn try_wrappers_match_the_panicking_api() {
+        let tas = TestAndSet::new();
+        assert_eq!(
+            try_recording_number(&tas, 4).unwrap().level,
+            recording_number(&tas, 4).level
+        );
+        assert_eq!(
+            try_discerning_number(&tas, 4).unwrap().level,
+            discerning_number(&tas, 4).level
+        );
+    }
+
+    #[test]
+    fn stats_reset() {
+        let engine = SearchEngine::sequential();
+        engine.classify(&TestAndSet::new(), 3).unwrap();
+        assert!(engine.stats().analyses_computed > 0);
+        engine.reset_stats();
+        assert_eq!(engine.stats(), SearchStats::default());
+    }
+
+    #[test]
+    fn parallel_levels_are_deterministic() {
+        let first = SearchEngine::new(4)
+            .recording_number(&Tnn::new(4, 1), 5)
+            .unwrap();
+        for _ in 0..3 {
+            let again = SearchEngine::new(4)
+                .recording_number(&Tnn::new(4, 1), 5)
+                .unwrap();
+            assert_eq!(again.level, first.level);
+            assert_eq!(again.capped, first.capped);
+        }
+    }
+}

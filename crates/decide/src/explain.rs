@@ -8,8 +8,8 @@
 //! the fast decider.
 
 use crate::brute::{r_set, u_set};
-use crate::recording::check_recording;
 use crate::discerning::check_discerning;
+use crate::recording::check_recording;
 use crate::witness::{Team, Witness};
 use rcn_spec::{ObjectType, Response, ValueId};
 use std::fmt::Write as _;
@@ -63,8 +63,16 @@ pub fn explain_recording<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> S
     let _ = writeln!(out, "  witness: {}", witness.describe(ty));
     let u0 = u_set(ty, witness, Team::T0);
     let u1 = u_set(ty, witness, Team::T1);
-    let _ = writeln!(out, "  U_0 = {}", value_list(ty, u0.iter().copied().collect()));
-    let _ = writeln!(out, "  U_1 = {}", value_list(ty, u1.iter().copied().collect()));
+    let _ = writeln!(
+        out,
+        "  U_0 = {}",
+        value_list(ty, u0.iter().copied().collect())
+    );
+    let _ = writeln!(
+        out,
+        "  U_1 = {}",
+        value_list(ty, u1.iter().copied().collect())
+    );
     let inter: Vec<usize> = u0.intersection(&u1).copied().collect();
     if !inter.is_empty() {
         let _ = writeln!(
@@ -90,7 +98,11 @@ pub fn explain_recording<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> S
     let _ = writeln!(
         out,
         "  ⇒ witness {} {n}-recording",
-        if verdict { "establishes" } else { "does NOT establish" }
+        if verdict {
+            "establishes"
+        } else {
+            "does NOT establish"
+        }
     );
     if !verdict {
         let _ = write!(out, "  (NOT {n}-recording via this witness)");
@@ -126,8 +138,16 @@ pub fn explain_discerning<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> 
         let r0 = r_set(ty, witness, Team::T0, j);
         let r1 = r_set(ty, witness, Team::T1, j);
         let inter: Vec<(usize, usize)> = r0.intersection(&r1).copied().collect();
-        let _ = writeln!(out, "  R_{{0,{j}}} = {}", pair_list(ty, r0.iter().copied().collect()));
-        let _ = writeln!(out, "  R_{{1,{j}}} = {}", pair_list(ty, r1.iter().copied().collect()));
+        let _ = writeln!(
+            out,
+            "  R_{{0,{j}}} = {}",
+            pair_list(ty, r0.iter().copied().collect())
+        );
+        let _ = writeln!(
+            out,
+            "  R_{{1,{j}}} = {}",
+            pair_list(ty, r1.iter().copied().collect())
+        );
         if inter.is_empty() {
             let _ = writeln!(out, "    disjoint ✓");
         } else {
@@ -139,7 +159,11 @@ pub fn explain_discerning<T: ObjectType + ?Sized>(ty: &T, witness: &Witness) -> 
     let _ = writeln!(
         out,
         "  ⇒ witness {} {n}-discerning",
-        if all_disjoint { "establishes" } else { "does NOT establish" }
+        if all_disjoint {
+            "establishes"
+        } else {
+            "does NOT establish"
+        }
     );
     out
 }
@@ -190,11 +214,14 @@ mod tests {
 
     #[test]
     fn explanations_use_type_names_not_ids() {
-        let text = explain_recording(&StickyBit::new(), &Witness::new(
-            ValueId::new(0),
-            vec![Team::T0, Team::T1],
-            vec![OpId::new(0), OpId::new(1)],
-        ));
+        let text = explain_recording(
+            &StickyBit::new(),
+            &Witness::new(
+                ValueId::new(0),
+                vec![Team::T0, Team::T1],
+                vec![OpId::new(0), OpId::new(1)],
+            ),
+        );
         assert!(!text.contains("v0"), "should use value names: {text}");
     }
 }

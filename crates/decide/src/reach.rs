@@ -42,6 +42,7 @@ pub const MAX_PROCESSES: usize = 20;
 pub struct Analysis {
     n: usize,
     num_values: usize,
+    num_responses: usize,
     /// `value_sets[f]`: values reachable over schedules whose first process
     /// is `p_f` (the per-first building block of the `U_x` sets).
     value_sets: Vec<BitSet>,
@@ -61,7 +62,10 @@ impl Analysis {
     /// range for the type.
     pub fn new<T: ObjectType + ?Sized>(ty: &T, u: ValueId, ops: &[OpId]) -> Analysis {
         let n = ops.len();
-        assert!(n <= MAX_PROCESSES, "analysis supports at most {MAX_PROCESSES} processes");
+        assert!(
+            n <= MAX_PROCESSES,
+            "analysis supports at most {MAX_PROCESSES} processes"
+        );
         let num_values = ty.num_values();
         let num_responses = ty.num_responses();
         assert!(u.index() < num_values, "initial value out of range");
@@ -155,7 +159,9 @@ impl Analysis {
                     }
                     let out = ty.apply(ValueId(v as u16), op);
                     let child = node(mask | (1 << j), out.next.index());
-                    let Some(ds) = &downstream[child] else { continue };
+                    let Some(ds) = &downstream[child] else {
+                        continue;
+                    };
                     for f in 0..n {
                         if label & (1 << f) == 0 {
                             continue;
@@ -172,6 +178,7 @@ impl Analysis {
         Analysis {
             n,
             num_values,
+            num_responses,
             value_sets,
             pair_sets,
         }
@@ -195,7 +202,11 @@ impl Analysis {
     /// The `R_{x,j}`-style pair set: `(response, value)` pairs of `p_j` over
     /// schedules containing `p_j` whose first process is in `team`.
     pub fn pair_set(&self, team: &[usize], j: usize) -> BitSet {
-        let mut out = BitSet::new(self.pair_sets[j].capacity());
+        // Capacity is the pair-universe size, not something to infer from an
+        // arbitrary stored set (indexing `pair_sets[j]` happened to alias
+        // `pair_sets[0 * n + j]`, which has the right capacity only because
+        // all rows share it).
+        let mut out = BitSet::new(self.num_responses * self.num_values);
         for &f in team {
             out.union_with(&self.pair_sets[f * self.n + j]);
         }
@@ -217,8 +228,8 @@ impl Analysis {
 mod tests {
     use super::*;
     use rcn_model::{s_p_first_in, ProcessId};
-    use rcn_spec::zoo::{Register, TestAndSet, Tnn};
     use rcn_spec::apply_all;
+    use rcn_spec::zoo::{Register, TestAndSet, Tnn};
     use std::collections::HashSet;
 
     /// Brute-force U_x by enumerating S(P) schedules directly.
@@ -333,6 +344,9 @@ mod tests {
         let r00 = a.pair_set(&[0], 0);
         assert!(!r00.is_empty());
         let pairs: Vec<(usize, usize)> = r00.iter().map(|i| (i / 2, i % 2)).collect();
-        assert!(pairs.iter().all(|&(r, _)| r == 0), "winner sees 0: {pairs:?}");
+        assert!(
+            pairs.iter().all(|&(r, _)| r == 0),
+            "winner sees 0: {pairs:?}"
+        );
     }
 }

@@ -54,15 +54,10 @@ pub fn check_recording<T: ObjectType + ?Sized>(
     let analysis = Analysis::new(ty, witness.initial, &witness.ops);
     let t0 = witness.team_members(Team::T0);
     let t1 = witness.team_members(Team::T1);
-    Ok(recording_holds(
-        &analysis,
-        witness.initial,
-        &t0,
-        &t1,
-    ))
+    Ok(recording_holds(&analysis, witness.initial, &t0, &t1))
 }
 
-fn recording_holds(analysis: &Analysis, u: ValueId, t0: &[usize], t1: &[usize]) -> bool {
+pub(crate) fn recording_holds(analysis: &Analysis, u: ValueId, t0: &[usize], t1: &[usize]) -> bool {
     let u0 = analysis.value_set(t0);
     let u1 = analysis.value_set(t1);
     if u0.intersects(&u1) {
@@ -178,7 +173,10 @@ mod tests {
     fn sticky_bit_and_consensus_object_keep_full_power() {
         for n in 2..5 {
             assert!(is_n_recording(&StickyBit::new(), n), "sticky n={n}");
-            assert!(is_n_recording(&ConsensusObject::new(), n), "consensus n={n}");
+            assert!(
+                is_n_recording(&ConsensusObject::new(), n),
+                "consensus n={n}"
+            );
         }
     }
 

@@ -10,7 +10,7 @@
 //!   partitions are enumerated with `p_0 ∈ T_0`.
 
 use crate::witness::Team;
-use rcn_spec::OpId;
+use rcn_spec::{OpId, ValueId};
 
 /// Iterates all non-decreasing op assignments of length `n` over
 /// `0..num_ops` (op multisets).
@@ -61,10 +61,27 @@ pub(crate) fn partitions(n: usize) -> impl Iterator<Item = Vec<Team>> {
         let mut teams = Vec::with_capacity(n);
         teams.push(Team::T0);
         for i in 0..n - 1 {
-            teams.push(if bits & (1 << i) != 0 { Team::T1 } else { Team::T0 });
+            teams.push(if bits & (1 << i) != 0 {
+                Team::T1
+            } else {
+                Team::T0
+            });
         }
         teams
     })
+}
+
+/// Iterates the `(initial value, op multiset)` *instances* of the witness
+/// space — the outer two loops of both deciders, and the unit of work the
+/// parallel engine shards across threads (one [`crate::Analysis`] is built
+/// per instance; partitions are then cheap bitset unions).
+pub(crate) fn instances(
+    num_values: usize,
+    num_ops: usize,
+    n: usize,
+) -> impl Iterator<Item = (ValueId, Vec<OpId>)> {
+    (0..num_values)
+        .flat_map(move |u| op_multisets(num_ops, n).map(move |ops| (ValueId(u as u16), ops)))
 }
 
 /// The number of `(value, op multiset, partition)` triples a search over a
@@ -118,6 +135,18 @@ mod tests {
     fn partitions_of_two() {
         let all: Vec<Vec<Team>> = partitions(2).collect();
         assert_eq!(all, vec![vec![Team::T0, Team::T1]]);
+    }
+
+    #[test]
+    fn instances_cover_the_outer_product() {
+        let all: Vec<_> = instances(2, 3, 2).collect();
+        // 2 values × C(3+2-1, 2) = 12 instances.
+        assert_eq!(all.len(), 12);
+        let set: std::collections::HashSet<_> = all.iter().cloned().collect();
+        assert_eq!(set.len(), all.len());
+        // Same order as the sequential deciders: value-major, multiset-minor.
+        assert_eq!(all[0].0.index(), 0);
+        assert_eq!(all[6].0.index(), 1);
     }
 
     #[test]

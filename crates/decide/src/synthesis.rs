@@ -106,7 +106,8 @@ pub fn random_readable_table(
         );
     }
     b.op_name(num_mutators as u16, "read");
-    b.build().expect("randomly filled table is structurally valid")
+    b.build()
+        .expect("randomly filled table is structurally valid")
 }
 
 /// Randomly perturbs one to three mutator cells of a table (the read op is
@@ -139,7 +140,11 @@ pub fn mutate_table(rng: &mut StdRng, table: &TableType) -> TableType {
         let v = rng.gen_range(0..num_values);
         let next = rng.gen_range(0..num_values) as u16;
         let resp = rng.gen_range(0..num_responses) as u16;
-        b.set(v as u16, op as u16, Outcome::new(Response(resp), ValueId(next)));
+        b.set(
+            v as u16,
+            op as u16,
+            Outcome::new(Response(resp), ValueId(next)),
+        );
     }
     for op in 0..num_ops as u16 {
         b.op_name(op, table.op_name(rcn_spec::OpId(op)));

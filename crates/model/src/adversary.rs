@@ -87,7 +87,10 @@ impl CrashyAdversary {
     ///
     /// Panics if `crash_prob` is not in `[0, 1]`.
     pub fn new(seed: u64, crash_prob: f64, budget: CrashBudget) -> Self {
-        assert!((0.0..=1.0).contains(&crash_prob), "crash_prob must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&crash_prob),
+            "crash_prob must be a probability"
+        );
         CrashyAdversary {
             rng: StdRng::seed_from_u64(seed),
             crash_prob,
@@ -100,9 +103,7 @@ impl Adversary for CrashyAdversary {
     fn next_event(&mut self, system: &System, config: &Configuration) -> Option<Event> {
         let undecided: Vec<ProcessId> = (0..system.n())
             .map(|i| ProcessId(i as u16))
-            .filter(|&p| {
-                config.decided[p.index()].is_none() && !is_output_state(system, config, p)
-            })
+            .filter(|&p| config.decided[p.index()].is_none() && !is_output_state(system, config, p))
             .collect();
         if undecided.is_empty() {
             return None;
@@ -214,7 +215,11 @@ mod tests {
         fn initial_state(&self, _pid: ProcessId, input: u32) -> crate::program::LocalState {
             crate::program::LocalState::word2(input, 0)
         }
-        fn action(&self, _pid: ProcessId, state: &crate::program::LocalState) -> crate::program::Action {
+        fn action(
+            &self,
+            _pid: ProcessId,
+            state: &crate::program::LocalState,
+        ) -> crate::program::Action {
             if state.word(1) >= self.rounds {
                 crate::program::Action::Output(state.word(0))
             } else {
@@ -266,7 +271,10 @@ mod tests {
             schedule.push(event);
             sys.apply(&mut config, event);
         }
-        assert!(budget.admits_prefix_closed(&schedule), "schedule: {schedule}");
+        assert!(
+            budget.admits_prefix_closed(&schedule),
+            "schedule: {schedule}"
+        );
     }
 
     #[test]

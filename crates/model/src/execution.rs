@@ -28,11 +28,7 @@ impl Execution {
 
     /// Records the execution of `schedule` from an explicit starting
     /// configuration.
-    pub fn record_from(
-        system: &System,
-        initial: Configuration,
-        schedule: &Schedule,
-    ) -> Execution {
+    pub fn record_from(system: &System, initial: Configuration, schedule: &Schedule) -> Execution {
         let mut config = initial.clone();
         let mut steps = Vec::with_capacity(schedule.len());
         for event in schedule.iter() {
@@ -81,7 +77,10 @@ impl Execution {
 
     /// All outputs made during the execution, in order.
     pub fn outputs(&self) -> Vec<(ProcessId, u32)> {
-        self.steps.iter().filter_map(|(_, eff, _)| eff.output).collect()
+        self.steps
+            .iter()
+            .filter_map(|(_, eff, _)| eff.output)
+            .collect()
     }
 
     /// Returns `true` if every event belongs to a process in `procs`.

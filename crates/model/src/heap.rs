@@ -153,7 +153,12 @@ impl fmt::Debug for HeapLayout {
         for (i, slot) in self.slots.iter().enumerate() {
             d.field(
                 &format!("obj{i}"),
-                &format!("{} : {} = {}", slot.name, slot.ty.name(), slot.ty.value_name(slot.initial)),
+                &format!(
+                    "{} : {} = {}",
+                    slot.name,
+                    slot.ty.name(),
+                    slot.ty.value_name(slot.initial)
+                ),
             );
         }
         d.finish()

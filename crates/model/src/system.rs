@@ -67,7 +67,12 @@ impl fmt::Display for Configuration {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let states: Vec<String> = self.states.iter().map(ToString::to_string).collect();
         let values: Vec<String> = self.values.iter().map(ToString::to_string).collect();
-        write!(f, "states=[{}] values=[{}]", states.join(" "), values.join(" "))
+        write!(
+            f,
+            "states=[{}] values=[{}]",
+            states.join(" "),
+            values.join(" ")
+        )
     }
 }
 
@@ -99,9 +104,15 @@ impl fmt::Display for Violation {
                 process,
                 output,
                 earlier,
-            } => write!(f, "agreement violated: {process} output {output}, earlier output {earlier}"),
+            } => write!(
+                f,
+                "agreement violated: {process} output {output}, earlier output {earlier}"
+            ),
             Violation::Validity { process, output } => {
-                write!(f, "validity violated: {process} output {output}, not an input")
+                write!(
+                    f,
+                    "validity violated: {process} output {output}, not an input"
+                )
             }
         }
     }
@@ -236,10 +247,12 @@ impl System {
         let decided = states
             .iter()
             .enumerate()
-            .map(|(i, state)| match self.program.action(ProcessId(i as u16), state) {
-                Action::Output(v) => Some(v),
-                Action::Invoke { .. } => None,
-            })
+            .map(
+                |(i, state)| match self.program.action(ProcessId(i as u16), state) {
+                    Action::Output(v) => Some(v),
+                    Action::Invoke { .. } => None,
+                },
+            )
             .collect();
         Configuration {
             states,
@@ -262,7 +275,10 @@ impl System {
             let Some(v) = *d else { continue };
             let p = ProcessId(i as u16);
             if !self.inputs.contains(&v) {
-                return Some(Violation::Validity { process: p, output: v });
+                return Some(Violation::Validity {
+                    process: p,
+                    output: v,
+                });
             }
             match seen {
                 Some(earlier) if earlier != v => {
@@ -348,7 +364,10 @@ impl System {
             return None;
         }
         if !self.inputs.contains(&v) {
-            return Some(Violation::Validity { process: p, output: v });
+            return Some(Violation::Validity {
+                process: p,
+                output: v,
+            });
         }
         config
             .decided
@@ -448,10 +467,7 @@ mod tests {
         let before = config.clone();
         sys.apply(&mut config, Event::Step(ProcessId(0)));
         assert_eq!(config.states, before.states);
-        assert_eq!(
-            sys.action_of(&config, ProcessId(0)),
-            Action::Output(1)
-        );
+        assert_eq!(sys.action_of(&config, ProcessId(0)), Action::Output(1));
     }
 
     #[test]

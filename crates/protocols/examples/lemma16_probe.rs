@@ -1,21 +1,33 @@
 //! Probe: model-check TnnRecoverable at n' and n'+1 processes.
-use rcn_protocols::{TnnRecoverable, TnnWaitFree, TasConsensus};
+use rcn_protocols::{TasConsensus, TnnRecoverable, TnnWaitFree};
 use rcn_valency::check_consensus;
 
 fn main() {
     let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
     let r = check_consensus(&sys, 1_000_000).unwrap();
-    println!("T_(5,2) recoverable, 2 procs: {} ({} configs)", r.verdict, r.configs);
+    println!(
+        "T_(5,2) recoverable, 2 procs: {} ({} configs)",
+        r.verdict, r.configs
+    );
 
     let sys = TnnRecoverable::system(5, 2, vec![0, 1, 1]);
     let r = check_consensus(&sys, 5_000_000).unwrap();
-    println!("T_(5,2) recoverable, 3 procs: {} ({} configs)", r.verdict, r.configs);
+    println!(
+        "T_(5,2) recoverable, 3 procs: {} ({} configs)",
+        r.verdict, r.configs
+    );
 
     let sys = TnnWaitFree::system(5, 2, vec![0, 1]);
     let r = check_consensus(&sys, 1_000_000).unwrap();
-    println!("T_(5,2) wait-free, 2 procs + crashes: {} ({} configs)", r.verdict, r.configs);
+    println!(
+        "T_(5,2) wait-free, 2 procs + crashes: {} ({} configs)",
+        r.verdict, r.configs
+    );
 
     let sys = TasConsensus::system(vec![0, 1]);
     let r = check_consensus(&sys, 1_000_000).unwrap();
-    println!("tas-consensus, crashes: {} ({} configs)", r.verdict, r.configs);
+    println!(
+        "tas-consensus, crashes: {} ({} configs)",
+        r.verdict, r.configs
+    );
 }

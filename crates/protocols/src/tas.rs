@@ -136,7 +136,11 @@ mod tests {
             assert!(report.is_clean_consensus(), "inputs {inputs:?}");
             // Round-robin: p0 wins the test&set, so everyone decides p0's
             // input.
-            assert_eq!(report.config.outputs(), vec![inputs[0]], "inputs {inputs:?}");
+            assert_eq!(
+                report.config.outputs(),
+                vec![inputs[0]],
+                "inputs {inputs:?}"
+            );
         }
     }
 
@@ -168,8 +172,7 @@ mod tests {
         // before reaching the output step), then after recovery p0 loses and
         // decides p1's input, while p1 also loses (bit already set) and
         // decides p0's input: 1 vs 0.
-        let violated = effects.iter().any(|e| e.violation.is_some())
-            || config.outputs().len() > 1;
+        let violated = effects.iter().any(|e| e.violation.is_some()) || config.outputs().len() > 1;
         assert!(violated, "outputs: {:?}", config.outputs());
     }
 }

@@ -22,10 +22,10 @@
 //! Hiding witnesses (`u ∈ U_x`, `|T_x̄| = 1`) are not supported; the plan
 //! builder reports which contests lack a non-hiding witness.
 
-use rcn_model::{Action, HeapLayout, LocalState, ObjectId, ProcessId, Program, System};
 use rcn_decide::Analysis;
-use rcn_spec::{ObjectType, OpId, Response, ValueId};
+use rcn_model::{Action, HeapLayout, LocalState, ObjectId, ProcessId, Program, System};
 use rcn_spec::zoo::Register;
+use rcn_spec::{ObjectType, OpId, Response, ValueId};
 use std::fmt;
 use std::sync::Arc;
 
@@ -225,13 +225,11 @@ fn find_contest_witness(
     let uniform = (0..num_ops).flat_map(move |x| {
         (0..num_ops).map(move |y| (vec![OpId(x as u16); a], vec![OpId(y as u16); b]))
     });
-    let full = multisets(num_ops, a)
-        .into_iter()
-        .flat_map(move |ops0| {
-            multisets(num_ops, b)
-                .into_iter()
-                .map(move |ops1| (ops0.clone(), ops1))
-        });
+    let full = multisets(num_ops, a).into_iter().flat_map(move |ops0| {
+        multisets(num_ops, b)
+            .into_iter()
+            .map(move |ops1| (ops0.clone(), ops1))
+    });
     for u in 0..ty.num_values() {
         let u = ValueId(u as u16);
         for (ops0, ops1) in uniform.clone().chain(full.clone()) {
@@ -347,8 +345,8 @@ impl Program for TournamentConsensus {
         match state.word(2) {
             STAGE_WRITE_CAND => LocalState::from_words([candidate, k, STAGE_READ_FIRST, 0]),
             STAGE_READ_FIRST => {
-                let value = self.resp_to_value[response.index()]
-                    .expect("read responses decode to values");
+                let value =
+                    self.resp_to_value[response.index()].expect("read responses decode to values");
                 if value == node.initial {
                     // Untouched: nobody (including a pre-crash self) has
                     // applied; safe to apply now.
@@ -360,8 +358,8 @@ impl Program for TournamentConsensus {
             }
             STAGE_APPLY => LocalState::from_words([candidate, k, STAGE_READ_SECOND, 0]),
             STAGE_READ_SECOND => {
-                let value = self.resp_to_value[response.index()]
-                    .expect("read responses decode to values");
+                let value =
+                    self.resp_to_value[response.index()].expect("read responses decode to values");
                 // After our own application the value cannot be u.
                 let winner = node.team_of_value[value.index()].unwrap_or(0);
                 LocalState::from_words([candidate, k, STAGE_READ_WINNER, winner as u32])
@@ -398,8 +396,7 @@ mod tests {
 
     #[test]
     fn sticky_bit_tournament_survives_random_crashes() {
-        let sys =
-            TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0, 1]).unwrap();
+        let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0, 1]).unwrap();
         for seed in 0..15 {
             let mut adv = CrashyAdversary::new(seed, 0.35, CrashBudget::new(1, 3));
             let report = drive(&sys, &mut adv, 50_000);

@@ -140,7 +140,14 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
             let system = &system;
             let trace = trace.as_ref();
             scope.spawn(move |_| {
-                run_worker(system, &heap, ProcessId(i as u16), options, &stats[i], trace);
+                run_worker(
+                    system,
+                    &heap,
+                    ProcessId(i as u16),
+                    options,
+                    &stats[i],
+                    trace,
+                );
             });
         }
     })

@@ -74,7 +74,10 @@ impl fmt::Display for TypeSpecError {
                 "row for {value} has {found} columns, expected {expected}"
             ),
             TypeSpecError::ValueOutOfRange { value, op, target } => {
-                write!(f, "outcome of {op} on {value} targets out-of-range {target}")
+                write!(
+                    f,
+                    "outcome of {op} on {value} targets out-of-range {target}"
+                )
             }
             TypeSpecError::ResponseOutOfRange {
                 value,
@@ -84,12 +87,17 @@ impl fmt::Display for TypeSpecError {
                 f,
                 "outcome of {op} on {value} returns out-of-range {response}"
             ),
-            TypeSpecError::Empty => write!(f, "type must have at least one value and one operation"),
+            TypeSpecError::Empty => {
+                write!(f, "type must have at least one value and one operation")
+            }
             TypeSpecError::WrongNameCount {
                 kind,
                 found,
                 expected,
-            } => write!(f, "{kind} name list has {found} entries, expected {expected}"),
+            } => write!(
+                f,
+                "{kind} name list has {found} entries, expected {expected}"
+            ),
         }
     }
 }
@@ -404,7 +412,10 @@ mod tests {
     fn builder_produces_valid_table() {
         let t = tiny();
         assert!(t.validate().is_ok());
-        assert_eq!(t.apply(ValueId(0), OpId(0)), Outcome::new(Response(0), ValueId(1)));
+        assert_eq!(
+            t.apply(ValueId(0), OpId(0)),
+            Outcome::new(Response(0), ValueId(1))
+        );
     }
 
     #[test]

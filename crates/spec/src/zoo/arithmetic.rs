@@ -207,7 +207,10 @@ impl CompareAndSwap {
     ///
     /// Panics if either argument is out of domain.
     pub fn cas_op(&self, expected: usize, new: usize) -> OpId {
-        assert!(expected < self.domain && new < self.domain, "cas args out of domain");
+        assert!(
+            expected < self.domain && new < self.domain,
+            "cas args out of domain"
+        );
         OpId((expected * self.domain + new) as u16)
     }
 }

@@ -103,7 +103,10 @@ impl BoundedQueue {
     ///
     /// Panics if `alphabet == 0` or `capacity == 0`.
     pub fn new(alphabet: usize, capacity: usize) -> Self {
-        assert!(alphabet > 0 && capacity > 0, "queue dimensions must be positive");
+        assert!(
+            alphabet > 0 && capacity > 0,
+            "queue dimensions must be positive"
+        );
         BoundedQueue {
             code: SeqCode::new(alphabet, capacity),
         }
@@ -151,7 +154,10 @@ impl ObjectType for BoundedQueue {
                 Outcome::new(Response((a + 2) as u16), value)
             } else {
                 seq.push(op.index());
-                Outcome::new(Response((a + 1) as u16), ValueId(self.code.encode(&seq) as u16))
+                Outcome::new(
+                    Response((a + 1) as u16),
+                    ValueId(self.code.encode(&seq) as u16),
+                )
             }
         } else {
             // deq
@@ -159,7 +165,10 @@ impl ObjectType for BoundedQueue {
                 Outcome::new(Response(a as u16), value)
             } else {
                 let front = seq.remove(0);
-                Outcome::new(Response(front as u16), ValueId(self.code.encode(&seq) as u16))
+                Outcome::new(
+                    Response(front as u16),
+                    ValueId(self.code.encode(&seq) as u16),
+                )
             }
         }
     }
@@ -171,7 +180,10 @@ impl ObjectType for BoundedQueue {
         } else {
             format!(
                 "[{}]",
-                seq.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                seq.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         }
     }
@@ -212,7 +224,10 @@ impl BoundedStack {
     ///
     /// Panics if `alphabet == 0` or `capacity == 0`.
     pub fn new(alphabet: usize, capacity: usize) -> Self {
-        assert!(alphabet > 0 && capacity > 0, "stack dimensions must be positive");
+        assert!(
+            alphabet > 0 && capacity > 0,
+            "stack dimensions must be positive"
+        );
         BoundedStack {
             code: SeqCode::new(alphabet, capacity),
         }
@@ -259,7 +274,10 @@ impl ObjectType for BoundedStack {
                 Outcome::new(Response((a + 2) as u16), value)
             } else {
                 seq.push(op.index());
-                Outcome::new(Response((a + 1) as u16), ValueId(self.code.encode(&seq) as u16))
+                Outcome::new(
+                    Response((a + 1) as u16),
+                    ValueId(self.code.encode(&seq) as u16),
+                )
             }
         } else if seq.is_empty() {
             Outcome::new(Response(a as u16), value)
@@ -276,7 +294,10 @@ impl ObjectType for BoundedStack {
         } else {
             format!(
                 "[{}]",
-                seq.iter().map(ToString::to_string).collect::<Vec<_>>().join(",")
+                seq.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join(",")
             )
         }
     }

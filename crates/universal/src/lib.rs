@@ -100,7 +100,10 @@ impl UniversalSim {
     ) -> System {
         let n = inputs.len();
         assert!(n >= 1, "need at least one process");
-        assert!(initial.index() < sim.num_values(), "initial value out of range");
+        assert!(
+            initial.index() < sim.num_values(),
+            "initial value out of range"
+        );
         for &op in &inputs {
             assert!((op as usize) < sim.num_ops(), "input op out of range");
         }
@@ -477,7 +480,10 @@ mod tests {
     fn register_simulation_round_robin() {
         let reg = Reg::new(3);
         // p0 writes 2, p1 reads.
-        let inputs = vec![reg.write_op(2).index() as u32, reg.read_op().unwrap().index() as u32];
+        let inputs = vec![
+            reg.write_op(2).index() as u32,
+            reg.read_op().unwrap().index() as u32,
+        ];
         let sys = UniversalSim::system(Arc::new(reg.clone()), ValueId::new(0), inputs);
         let report = drive(&sys, &mut RoundRobin::new(), 1_000);
         assert!(report.all_decided);

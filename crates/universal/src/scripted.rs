@@ -69,7 +69,10 @@ impl ScriptedSim {
     ) -> System {
         let n = scripts.len();
         assert!(n >= 1, "need at least one process");
-        assert!(initial.index() < sim.num_values(), "initial value out of range");
+        assert!(
+            initial.index() < sim.num_values(),
+            "initial value out of range"
+        );
         for script in &scripts {
             assert!(!script.is_empty(), "scripts must be nonempty");
             for op in script {
@@ -276,21 +279,16 @@ mod tests {
             vec![q.enq_op(1), q.enq_op(1)],
         ];
         let sys = ScriptedSim::system(Arc::new(q.clone()), ValueId::new(0), scripts.clone());
-        let report =
-            verify_scripted(&sys, &q, ValueId::new(0), &scripts, 50_000_000).unwrap();
+        let report = verify_scripted(&sys, &q, ValueId::new(0), &scripts, 50_000_000).unwrap();
         assert!(report.is_linearizable(), "{:?}", report.violation);
     }
 
     #[test]
     fn enq_deq_interleavings_verify() {
         let q = BoundedQueue::new(2, 2);
-        let scripts = vec![
-            vec![q.enq_op(1), q.deq_op()],
-            vec![q.enq_op(0)],
-        ];
+        let scripts = vec![vec![q.enq_op(1), q.deq_op()], vec![q.enq_op(0)]];
         let sys = ScriptedSim::system(Arc::new(q.clone()), ValueId::new(0), scripts.clone());
-        let report =
-            verify_scripted(&sys, &q, ValueId::new(0), &scripts, 50_000_000).unwrap();
+        let report = verify_scripted(&sys, &q, ValueId::new(0), &scripts, 50_000_000).unwrap();
         assert!(report.is_linearizable(), "{:?}", report.violation);
     }
 

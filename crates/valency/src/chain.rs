@@ -137,8 +137,7 @@ pub fn theorem13_chain(
             CriticalClass::Colliding => {
                 // Figure 1: step then crash the highest process.
                 let p = ProcessId((n - 1) as u16);
-                let continuation =
-                    Schedule::from_events([Event::Step(p), Event::Crash(p)]);
+                let continuation = Schedule::from_events([Event::Step(p), Event::Crash(p)]);
                 prefix.extend(&info.critical_schedule_with(&continuation));
                 links.push(ChainLink {
                     critical: info,
@@ -198,7 +197,11 @@ mod tests {
     fn sticky_sys(inputs: Vec<u32>) -> System {
         let mut layout = HeapLayout::new();
         let sticky = layout.add_object("S", Arc::new(StickyBit::new()), rcn_spec::ValueId::new(0));
-        System::new(Arc::new(StickyConsensus { sticky }), Arc::new(layout), inputs)
+        System::new(
+            Arc::new(StickyConsensus { sticky }),
+            Arc::new(layout),
+            inputs,
+        )
     }
 
     #[test]

@@ -55,7 +55,11 @@ impl fmt::Display for Counterexample {
         if self.cycle.is_empty() {
             write!(f, "{}: {}", self.description, self.prefix)
         } else {
-            write!(f, "{}: {} ({})^ω", self.description, self.prefix, self.cycle)
+            write!(
+                f,
+                "{}: {} ({})^ω",
+                self.description, self.prefix, self.cycle
+            )
         }
     }
 }
@@ -100,7 +104,10 @@ impl fmt::Display for Verdict {
             Verdict::NotRecoverableWaitFree {
                 process,
                 counterexample,
-            } => write!(f, "NOT RECOVERABLE WAIT-FREE for {process}: {counterexample}"),
+            } => write!(
+                f,
+                "NOT RECOVERABLE WAIT-FREE for {process}: {counterexample}"
+            ),
         }
     }
 }
@@ -160,10 +167,7 @@ pub fn check_graph(graph: &ConfigGraph) -> Verdict {
             },
         };
     }
-    if let Some((src, edge)) = graph
-        .all_edges()
-        .find(|(_, e)| e.violation.is_some())
-    {
+    if let Some((src, edge)) = graph.all_edges().find(|(_, e)| e.violation.is_some()) {
         let mut prefix = graph.path_to(src);
         prefix.push(edge.event);
         return Verdict::Unsafe {
@@ -220,9 +224,10 @@ fn starvation_cycle(graph: &ConfigGraph, p: ProcessId) -> Option<Counterexample>
         if scc.len() == 1 {
             let id = scc[0];
             let has_self_loop = keep(id)
-                && graph.edges(id).iter().any(|e| {
-                    e.target == id && keep_edge(&e.event) && e.event == Event::Step(p)
-                });
+                && graph
+                    .edges(id)
+                    .iter()
+                    .any(|e| e.target == id && keep_edge(&e.event) && e.event == Event::Step(p));
             if !has_self_loop {
                 continue;
             }
@@ -240,7 +245,9 @@ fn starvation_cycle(graph: &ConfigGraph, p: ProcessId) -> Option<Counterexample>
                 })
                 .map(|e| (id, e.target))
         });
-        let Some((src, dst)) = step_edge else { continue };
+        let Some((src, dst)) = step_edge else {
+            continue;
+        };
         // Build the cycle: src --Step(p)--> dst --…--> src inside the SCC.
         let back = path_within(graph, &inside, dst, src, &keep_edge, &keep)?;
         let mut cycle = Schedule::new();
@@ -419,7 +426,11 @@ mod tests {
     fn sticky_sys(inputs: Vec<u32>) -> System {
         let mut layout = HeapLayout::new();
         let sticky = layout.add_object("S", Arc::new(StickyBit::new()), rcn_spec::ValueId::new(0));
-        System::new(Arc::new(StickyConsensus { sticky }), Arc::new(layout), inputs)
+        System::new(
+            Arc::new(StickyConsensus { sticky }),
+            Arc::new(layout),
+            inputs,
+        )
     }
 
     #[test]
@@ -525,7 +536,11 @@ mod tests {
     fn register_consensus_attempt_is_unsafe() {
         let mut layout = HeapLayout::new();
         let reg = layout.add_object("R", Arc::new(Register::new(2)), rcn_spec::ValueId::new(0));
-        let sys = System::new(Arc::new(ReadAndDecide { reg }), Arc::new(layout), vec![0, 1]);
+        let sys = System::new(
+            Arc::new(ReadAndDecide { reg }),
+            Arc::new(layout),
+            vec![0, 1],
+        );
         let report = check_consensus(&sys, 100_000).unwrap();
         match report.verdict {
             Verdict::Unsafe {
@@ -571,7 +586,11 @@ mod render_tests {
     fn rendered_counterexamples_narrate_the_violation() {
         // Mixed inputs with the trivial output-input program: time-zero
         // agreement violation, rendered as a (degenerate) execution.
-        let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![0, 1]);
+        let sys = System::new(
+            Arc::new(OutputInput),
+            Arc::new(HeapLayout::new()),
+            vec![0, 1],
+        );
         let graph = crate::ConfigGraph::explore(&sys, 1_000).unwrap();
         match check_graph(&graph) {
             Verdict::Unsafe { counterexample, .. } => {
@@ -589,7 +608,11 @@ mod render_tests {
             cycle: "p1 p1".parse().unwrap(),
             description: "demo".into(),
         };
-        let sys = System::new(Arc::new(OutputInput), Arc::new(HeapLayout::new()), vec![1, 1]);
+        let sys = System::new(
+            Arc::new(OutputInput),
+            Arc::new(HeapLayout::new()),
+            vec![1, 1],
+        );
         let text = ce.render(&sys);
         assert!(text.contains("cycle p1 p1 unrolled once"));
     }

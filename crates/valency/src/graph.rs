@@ -207,10 +207,7 @@ impl fmt::Debug for ConfigGraph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("ConfigGraph")
             .field("configs", &self.configs.len())
-            .field(
-                "edges",
-                &self.edges.iter().map(Vec::len).sum::<usize>(),
-            )
+            .field("edges", &self.edges.iter().map(Vec::len).sum::<usize>())
             .finish()
     }
 }

@@ -306,9 +306,7 @@ impl BudgetedGraph {
             }
         }
         let object = if same { object } else { None };
-        let class = object.and_then(|o| {
-            self.classify_critical(config, o, &teams, &poised_ops)
-        });
+        let class = object.and_then(|o| self.classify_critical(config, o, &teams, &poised_ops));
         CriticalInfo {
             schedule: self.path_to(id),
             teams,
@@ -361,8 +359,7 @@ impl BudgetedGraph {
         let hiding0 = u0.contains(u.index());
         let hiding1 = u1.contains(u.index());
         // n-recording: disjoint, and if u ∈ U_x then |T_x̄| = 1.
-        let recording_ok =
-            (!hiding0 || t1.len() == 1) && (!hiding1 || t0.len() == 1);
+        let recording_ok = (!hiding0 || t1.len() == 1) && (!hiding1 || t0.len() == 1);
         if recording_ok {
             Some(CriticalClass::Recording)
         } else if hiding0 {
@@ -454,7 +451,11 @@ mod tests {
     fn sticky_sys(inputs: Vec<u32>) -> System {
         let mut layout = HeapLayout::new();
         let sticky = layout.add_object("S", Arc::new(StickyBit::new()), rcn_spec::ValueId::new(0));
-        System::new(Arc::new(StickyConsensus { sticky }), Arc::new(layout), inputs)
+        System::new(
+            Arc::new(StickyConsensus { sticky }),
+            Arc::new(layout),
+            inputs,
+        )
     }
 
     #[test]
@@ -503,10 +504,7 @@ mod tests {
         // With z=1, n=2: p1 can only crash after p0 stepped.
         let graph = BudgetedGraph::explore(&sticky_sys(vec![0, 1]), 1, 4, 100_000).unwrap();
         // State 0 has no crash edges at all (no allowance yet).
-        let crashes_at_init = graph.edges[0]
-            .iter()
-            .filter(|(e, _)| e.is_crash())
-            .count();
+        let crashes_at_init = graph.edges[0].iter().filter(|(e, _)| e.is_crash()).count();
         assert_eq!(crashes_at_init, 0);
     }
 

@@ -37,7 +37,10 @@ fn main() -> Result<(), Box<dyn Error>> {
     // every crash pattern):
     let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
     let report = check_consensus(&sys, 1_000_000)?;
-    println!("model check @ n' = 2: {} ({} configurations)", report.verdict, report.configs);
+    println!(
+        "model check @ n' = 2: {} ({} configurations)",
+        report.verdict, report.configs
+    );
 
     // One process too many (Lemma 16's impossibility half): the checker
     // finds a concrete agreement violation.

@@ -15,15 +15,25 @@ fn main() -> Result<(), Box<dyn Error>> {
     //    solve 2-process consensus, but not 2-process *recoverable*
     //    consensus.
     let tas = classify(&TestAndSet::new(), 4);
-    println!("test-and-set : CN = {}, RCN = {}", tas.consensus_number, tas.recoverable_consensus_number);
+    println!(
+        "test-and-set : CN = {}, RCN = {}",
+        tas.consensus_number, tas.recoverable_consensus_number
+    );
 
     let sticky = classify(&StickyBit::new(), 4);
-    println!("sticky bit   : CN = {}, RCN = {}", sticky.consensus_number, sticky.recoverable_consensus_number);
+    println!(
+        "sticky bit   : CN = {}, RCN = {}",
+        sticky.consensus_number, sticky.recoverable_consensus_number
+    );
 
     // 2. Build: derive a recoverable consensus protocol for 3 processes
     //    from the sticky bit's recording witnesses.
     let sys = solve_recoverable(Arc::new(StickyBit::new()), vec![1, 0, 1])?;
-    println!("built {} over {} objects", sys.program().name(), sys.layout().len());
+    println!(
+        "built {} over {} objects",
+        sys.program().name(),
+        sys.layout().len()
+    );
 
     // 3. Verify: exhaustive model check — agreement, validity, recoverable
     //    wait-freedom, under every possible crash pattern.

@@ -22,7 +22,10 @@ fn main() -> Result<(), Box<dyn Error>> {
         q.deq_op().index() as u32,
     ];
     let sys = UniversalSim::system(Arc::new(q.clone()), ValueId::new(0), inputs);
-    println!("simulating {} for 3 processes via consensus slots", q.name());
+    println!(
+        "simulating {} for 3 processes via consensus slots",
+        q.name()
+    );
 
     // Exhaustive verification: every interleaving, every crash pattern —
     // the decided slots always form a prefix with distinct winners, and

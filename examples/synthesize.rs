@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example synthesize`
 
+use rcn::decide::classify;
 use rcn::decide::synthesis::{hill_climb, random_readable_table, rng, TargetProfile};
-use rcn::decide::{classify};
 use rcn::shipped_xn;
 
 fn main() {
@@ -34,7 +34,10 @@ fn main() {
             );
             break;
         }
-        println!("seed {seed}: best distance {} after {} evaluations", out.distance, out.evaluations);
+        println!(
+            "seed {seed}: best distance {} after {} evaluations",
+            out.distance, out.evaluations
+        );
     }
 
     // The crown jewel: the shipped X_4, found the same way (seeded from the

@@ -21,7 +21,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     // Explore exactly the crash-budgeted executions E_1*(C) of §3
     // (allowances clamped at 6).
     let graph = BudgetedGraph::explore(&sys, 1, 6, 1_000_000)?;
-    println!("explored {} budgeted states (E_{}* with clamp {})", graph.len(), graph.z(), graph.clamp());
+    println!(
+        "explored {} budgeted states (E_{}* with clamp {})",
+        graph.len(),
+        graph.z(),
+        graph.clamp()
+    );
 
     // Observation 1: an initial configuration with both inputs present is
     // bivalent.
@@ -29,14 +34,19 @@ fn main() -> Result<(), Box<dyn Error>> {
     assert_eq!(graph.initial_valency(), Valency::Bivalent);
 
     // Lemma 6(a): a critical execution exists.
-    let critical = graph.find_critical().expect("Lemma 6(a): critical execution exists");
+    let critical = graph
+        .find_critical()
+        .expect("Lemma 6(a): critical execution exists");
     let info = graph.analyze_critical(critical);
     println!("critical execution α = {}", info.schedule);
 
     // Lemma 7: both teams are nonempty.
     for (i, team) in info.teams.iter().enumerate() {
         if let Some(v) = team {
-            println!("  {} is on team {v} (α·p{i} is {v}-univalent)", ProcessId::new(i as u16));
+            println!(
+                "  {} is on team {v} (α·p{i} is {v}-univalent)",
+                ProcessId::new(i as u16)
+            );
         }
     }
 

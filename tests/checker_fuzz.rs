@@ -95,6 +95,66 @@ fn arb_program(s: usize) -> impl Strategy<Value = (Vec<u16>, Vec<Vec<u32>>, [u32
         .prop_map(|(op, next, start)| (op, next, [start[0], start[1]]))
 }
 
+/// The shrunk cases from `checker_fuzz.proptest-regressions`, replayed as
+/// plain unit tests so they run under any property-test runner (the
+/// offline stand-in does not consume proptest's seed files).
+mod regressions {
+    use super::*;
+
+    /// `cc e1cf9cd7…`: a program whose input-0 start state is an output
+    /// state (outputs 0 immediately) while input 1 wanders the table —
+    /// historically a checker/driver divergence on time-zero outputs.
+    #[test]
+    fn soundness_holds_for_time_zero_output_program() {
+        let op = vec![0u16, 1, 0, 0];
+        let next = vec![
+            vec![0u32, 0, 4],
+            vec![0, 0, 3],
+            vec![0, 0, 0],
+            vec![0, 0, 0],
+            vec![0, 0, 0],
+            vec![0, 0, 0],
+        ];
+        let start = [0u32, 5];
+        let sys = build_system(4, op, next, start, vec![0, 1]);
+        let report = check_consensus(&sys, 500_000).expect("small state space");
+        let mut adv = CrashyAdversary::new(0, 0.3, CrashBudget::new(1, 2));
+        let run = drive(&sys, &mut adv, 2_000);
+        if matches!(report.verdict, Verdict::Correct) {
+            assert!(run.violation.is_none(), "drive found what checker missed");
+            assert!(
+                run.config.outputs().len() <= 1,
+                "disagreement in a checker-correct protocol"
+            );
+        }
+    }
+
+    /// `cc 38231946…`: both start states are output states (4 → output 1,
+    /// 3 → output 0), so the counterexample prefix is empty — replay must
+    /// go through `check_initial_outputs`, not `run_from_start`.
+    #[test]
+    fn empty_prefix_counterexamples_replay_at_time_zero() {
+        let op = vec![0u16, 0, 0];
+        let next = vec![vec![0u32; 3]; 5];
+        let start = [4u32, 3];
+        let sys = build_system(3, op, next, start, vec![0, 1]);
+        let report = check_consensus(&sys, 500_000).expect("small state space");
+        if let Verdict::Unsafe { counterexample, .. } = &report.verdict {
+            if counterexample.prefix.is_empty() {
+                let config = sys.initial_config();
+                assert!(sys.check_initial_outputs(&config).is_some());
+            } else {
+                let (_, violation) = sys.run_from_start(&counterexample.prefix);
+                assert!(
+                    violation.is_some(),
+                    "stale counterexample {}",
+                    counterexample.prefix
+                );
+            }
+        }
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 

@@ -1,0 +1,146 @@
+//! Differential tests: the parallel search engine must agree with the
+//! sequential deciders on every membership question and every computed
+//! level, for the whole readable zoo — and parallel runs must be
+//! level-deterministic (witnesses may differ; levels may not).
+
+use rcn::decide::{
+    check_discerning, check_recording, discerning_number, is_n_discerning, is_n_recording,
+    recording_number, SearchEngine,
+};
+use rcn::spec::zoo::{
+    CompareAndSwap, ConsensusObject, FetchAndAdd, Register, StickyBit, Swap, TeamCounter,
+    TestAndSet, Tnn,
+};
+use rcn::spec::ObjectType;
+
+const CAP: usize = 4;
+
+fn zoo() -> Vec<Box<dyn ObjectType + Send + Sync>> {
+    vec![
+        Box::new(Register::new(2)),
+        Box::new(TestAndSet::new()),
+        Box::new(FetchAndAdd::new(4)),
+        Box::new(Swap::new(2)),
+        Box::new(CompareAndSwap::new(3)),
+        Box::new(StickyBit::new()),
+        Box::new(ConsensusObject::new()),
+        Box::new(Tnn::new(4, 2)),
+        Box::new(TeamCounter::new(4)),
+    ]
+}
+
+#[test]
+fn engine_membership_matches_sequential_for_whole_zoo() {
+    let engine = SearchEngine::new(4);
+    for ty in zoo() {
+        for n in 2..=CAP {
+            assert_eq!(
+                engine
+                    .find_recording_witness(&*ty, n)
+                    .expect("level in range")
+                    .is_some(),
+                is_n_recording(&*ty, n),
+                "{}: is_n_recording({n})",
+                ty.name()
+            );
+            assert_eq!(
+                engine
+                    .find_discerning_witness(&*ty, n)
+                    .expect("level in range")
+                    .is_some(),
+                is_n_discerning(&*ty, n),
+                "{}: is_n_discerning({n})",
+                ty.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn engine_levels_match_sequential_for_whole_zoo() {
+    let engine = SearchEngine::new(4);
+    for ty in zoo() {
+        let seq = recording_number(&*ty, CAP);
+        let par = engine.recording_number(&*ty, CAP).expect("cap in range");
+        assert_eq!(par.level, seq.level, "{}: recording level", ty.name());
+        assert_eq!(par.capped, seq.capped, "{}: recording capped", ty.name());
+
+        let seq = discerning_number(&*ty, CAP);
+        let par = engine.discerning_number(&*ty, CAP).expect("cap in range");
+        assert_eq!(par.level, seq.level, "{}: discerning level", ty.name());
+        assert_eq!(par.capped, seq.capped, "{}: discerning capped", ty.name());
+    }
+}
+
+#[test]
+fn engine_witnesses_are_valid_certificates() {
+    // Witnesses from a parallel search may differ from the sequential ones
+    // (and between runs); each must still replay through the independent
+    // checkers.
+    let engine = SearchEngine::new(4);
+    for ty in zoo() {
+        let rec = engine.recording_number(&*ty, CAP).expect("cap in range");
+        if let Some(w) = &rec.witness {
+            assert_eq!(
+                check_recording(&*ty, w),
+                Ok(true),
+                "{}: recording witness replays",
+                ty.name()
+            );
+        }
+        let dis = engine.discerning_number(&*ty, CAP).expect("cap in range");
+        if let Some(w) = &dis.witness {
+            assert_eq!(
+                check_discerning(&*ty, w),
+                Ok(true),
+                "{}: discerning witness replays",
+                ty.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_runs_are_level_deterministic() {
+    let ty = Tnn::new(4, 1);
+    let reference = SearchEngine::new(4)
+        .classify(&ty, CAP)
+        .expect("cap in range");
+    for round in 0..5 {
+        let again = SearchEngine::new(4)
+            .classify(&ty, CAP)
+            .expect("cap in range");
+        assert_eq!(
+            again.recording.level, reference.recording.level,
+            "round {round}: recording level"
+        );
+        assert_eq!(
+            again.discerning.level, reference.discerning.level,
+            "round {round}: discerning level"
+        );
+        assert_eq!(again.consensus_number, reference.consensus_number);
+        assert_eq!(
+            again.recoverable_consensus_number,
+            reference.recoverable_consensus_number
+        );
+    }
+}
+
+#[test]
+fn classify_reports_cache_hits() {
+    // `classify` runs both deciders over the same instance space; the
+    // second scan must be served (partly) from the shared analysis cache.
+    for threads in [1usize, 4] {
+        let engine = SearchEngine::new(threads);
+        engine
+            .classify(&TestAndSet::new(), CAP)
+            .expect("cap in range");
+        let stats = engine.stats();
+        assert!(
+            stats.cache_hits > 0,
+            "threads={threads}: expected cache hits, got {stats}"
+        );
+        assert!(stats.analyses_computed > 0);
+        assert!(stats.instances_visited >= stats.analyses_computed);
+    }
+}

@@ -17,7 +17,11 @@ fn inputs(n: usize) -> Vec<u32> {
 #[test]
 fn tnn_recoverable_correct_at_n_prime() {
     for (n, n_prime) in [(2usize, 1usize), (3, 1), (3, 2), (4, 2), (5, 2), (4, 3)] {
-        let ins = if n_prime >= 2 { inputs(n_prime) } else { vec![0] };
+        let ins = if n_prime >= 2 {
+            inputs(n_prime)
+        } else {
+            vec![0]
+        };
         let sys = TnnRecoverable::system(n, n_prime, ins);
         let report = check_consensus(&sys, 10_000_000).expect("fits");
         assert!(
@@ -41,7 +45,10 @@ fn tnn_recoverable_breaks_at_n_prime_plus_1() {
             } => {
                 // Counterexamples replay to a real violation.
                 let (_, violation) = sys.run_from_start(&counterexample.prefix);
-                assert!(violation.is_some(), "T_({n},{n_prime}): stale counterexample");
+                assert!(
+                    violation.is_some(),
+                    "T_({n},{n_prime}): stale counterexample"
+                );
             }
             Verdict::NotRecoverableWaitFree { .. } => {}
             Verdict::Correct => panic!("T_({n},{n_prime}) at {} procs must fail", n_prime + 1),
@@ -56,9 +63,15 @@ fn tnn_wait_free_is_exactly_wait_free() {
     for (n, n_prime) in [(2usize, 1usize), (3, 1), (4, 2)] {
         let sys = TnnWaitFree::system(n, n_prime, inputs(n));
         let crash_free = ConfigGraph::explore_with(&sys, 10_000_000, false).expect("fits");
-        assert!(check_graph(&crash_free).is_correct(), "T_({n},{n_prime}) crash-free");
+        assert!(
+            check_graph(&crash_free).is_correct(),
+            "T_({n},{n_prime}) crash-free"
+        );
         let crashy = check_consensus(&sys, 10_000_000).expect("fits");
-        assert!(!crashy.verdict.is_correct(), "T_({n},{n_prime}) with crashes");
+        assert!(
+            !crashy.verdict.is_correct(),
+            "T_({n},{n_prime}) with crashes"
+        );
     }
 }
 

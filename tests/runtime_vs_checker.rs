@@ -15,7 +15,10 @@ use std::sync::Arc;
 #[test]
 fn abstract_adversary_agrees_with_checker() {
     let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
-    assert!(check_consensus(&sys, 1_000_000).unwrap().verdict.is_correct());
+    assert!(check_consensus(&sys, 1_000_000)
+        .unwrap()
+        .verdict
+        .is_correct());
     for seed in 0..40 {
         let mut adv = CrashyAdversary::new(seed, 0.4, CrashBudget::new(2, 2));
         let report = drive(&sys, &mut adv, 50_000);
@@ -32,7 +35,10 @@ fn abstract_adversary_agrees_with_checker() {
 #[test]
 fn threaded_runtime_agrees_with_checker() {
     let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0]).unwrap();
-    assert!(check_consensus(&sys, 1_000_000).unwrap().verdict.is_correct());
+    assert!(check_consensus(&sys, 1_000_000)
+        .unwrap()
+        .verdict
+        .is_correct());
     for seed in 0..25 {
         let report = run_threaded(
             &sys,
@@ -52,8 +58,7 @@ fn threaded_runtime_agrees_with_checker() {
 #[test]
 fn runtime_scales_beyond_the_checker() {
     let inputs: Vec<u32> = (0..8u32).map(|i| (i / 3) % 2).collect();
-    let sys =
-        TournamentConsensus::try_new(Arc::new(CompareAndSwap::new(3)), inputs).unwrap();
+    let sys = TournamentConsensus::try_new(Arc::new(CompareAndSwap::new(3)), inputs).unwrap();
     for seed in 0..10 {
         let report = run_threaded(
             &sys,
@@ -85,8 +90,12 @@ fn solo_runs_match_between_engines() {
     let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
     // Abstract engine: p0 runs solo, then p1.
     let mut config = sys.initial_config();
-    let a0 = sys.run_solo(&mut config, rcn::model::ProcessId::new(0), 100).unwrap();
-    let a1 = sys.run_solo(&mut config, rcn::model::ProcessId::new(1), 100).unwrap();
+    let a0 = sys
+        .run_solo(&mut config, rcn::model::ProcessId::new(0), 100)
+        .unwrap();
+    let a1 = sys
+        .run_solo(&mut config, rcn::model::ProcessId::new(1), 100)
+        .unwrap();
     // Threaded engine without crashes: decisions must agree with each
     // other; the winner depends on thread timing but agreement pins both.
     let report = run_threaded(

@@ -4,7 +4,7 @@
 
 use rcn::runtime::{run_threaded, RunOptions};
 use rcn::spec::zoo::{BoundedQueue, FetchAndAdd, Swap, TestAndSet};
-use rcn::spec::{ObjectType, OpId, ValueId};
+use rcn::spec::{OpId, ValueId};
 use rcn::universal::{verify_scripted, verify_simulation, ScriptedSim, UniversalSim};
 use std::sync::Arc;
 
@@ -15,7 +15,7 @@ use std::sync::Arc;
 fn one_shot_swap_simulation_is_linearizable() {
     let sw = Swap::new(3);
     let inputs = vec![sw.swap_op(1).index() as u32, sw.swap_op(2).index() as u32];
-    let sys = UniversalSim::system(Arc::new(sw.clone()), ValueId::new(0), inputs);
+    let sys = UniversalSim::system(Arc::new(sw), ValueId::new(0), inputs);
     let report = verify_simulation(&sys, &sw, ValueId::new(0), 10_000_000).unwrap();
     assert!(report.is_linearizable(), "{:?}", report.violation);
 }
@@ -36,7 +36,10 @@ fn threaded_simulated_tas_has_one_winner() {
                 ..Default::default()
             },
         );
-        assert!(report.processes.iter().all(|p| p.decision.is_some()), "seed {seed}");
+        assert!(
+            report.processes.iter().all(|p| p.decision.is_some()),
+            "seed {seed}"
+        );
         let zeros = report
             .processes
             .iter()
@@ -75,7 +78,10 @@ fn scripted_counter_never_loses_increments() {
                 ..Default::default()
             },
         );
-        assert!(report.processes.iter().all(|p| p.decision.is_some()), "seed {seed}");
+        assert!(
+            report.processes.iter().all(|p| p.decision.is_some()),
+            "seed {seed}"
+        );
         // The largest old-value seen by any last increment is 5 (counter
         // reached 6).
         let max = report

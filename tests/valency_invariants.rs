@@ -13,8 +13,14 @@ fn graphs() -> Vec<(String, rcn::model::System)> {
             "sticky tournament 2p".into(),
             TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![0, 1]).unwrap(),
         ),
-        ("tnn(4,2) 2p".into(), TnnRecoverable::system(4, 2, vec![0, 1])),
-        ("tnn(3,1) uniform".into(), TnnRecoverable::system(3, 1, vec![1])),
+        (
+            "tnn(4,2) 2p".into(),
+            TnnRecoverable::system(4, 2, vec![0, 1]),
+        ),
+        (
+            "tnn(3,1) uniform".into(),
+            TnnRecoverable::system(3, 1, vec![1]),
+        ),
     ]
 }
 
@@ -33,9 +39,7 @@ fn univalence_is_absorbing() {
                             v, w,
                             "{label}: univalence flipped on {event} from state {id}"
                         ),
-                        other => panic!(
-                            "{label}: {v}-univalent state {id} has {other} successor"
-                        ),
+                        other => panic!("{label}: {v}-univalent state {id} has {other} successor"),
                     }
                 }
             }

@@ -1,0 +1,111 @@
+//! Offline stand-in for `crossbeam`, covering the one API this workspace
+//! uses: `crossbeam::scope` with `Scope::spawn`.
+//!
+//! Implemented on `std::thread::scope` (stable since 1.63), which provides
+//! the same borrow-from-the-stack guarantee. Unlike real crossbeam, a
+//! panicking child thread propagates at scope exit instead of being
+//! collected into the `Err` variant — callers here immediately `.expect()`
+//! the result, so the observable behavior is identical.
+
+use std::marker::PhantomData;
+use std::thread;
+
+/// A handle for spawning scoped threads (subset of `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+/// A handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: thread::ScopedJoinHandle<'scope, T>,
+    _marker: PhantomData<&'scope ()>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish.
+    ///
+    /// # Errors
+    ///
+    /// Returns the thread's panic payload if it panicked.
+    pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope (ignored by
+    /// every caller in this workspace, hence the `|_|` idiom).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || {
+                let scope = Scope { inner };
+                f(&scope)
+            }),
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// Creates a scope in which borrowed-data threads can be spawned; all
+/// threads are joined before `scope` returns.
+///
+/// # Errors
+///
+/// Never returns `Err` — child panics propagate at scope exit (see the
+/// crate docs). The `Result` exists so call sites written against real
+/// crossbeam (`.expect("threads join")`) compile unchanged.
+#[allow(clippy::missing_panics_doc)]
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| {
+        let scope = Scope { inner: s };
+        f(&scope)
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        })
+        .expect("threads join");
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn join_returns_value() {
+        let out = super::scope(|s| s.spawn(|_| 41 + 1).join().expect("no panic"))
+            .expect("threads join");
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn nested_spawn_from_child() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            s.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            });
+        })
+        .expect("threads join");
+        assert_eq!(counter.load(Ordering::SeqCst), 1);
+    }
+}

@@ -1,0 +1,498 @@
+//! Offline stand-in for `proptest`, covering the subset this workspace
+//! uses: the `proptest!` macro, `prop_assert!`/`prop_assert_eq!`, integer
+//! range strategies, tuples, `prop_map`, `prop::collection::vec`,
+//! `prop::bool::ANY`, `prop::sample::subsequence`, and `ProptestConfig`.
+//!
+//! Differences from the real library, by design:
+//!
+//! * **No shrinking.** A failing case reports the exact generated input
+//!   (which is why regression cases are also checked in as explicit unit
+//!   tests rather than opaque `proptest-regressions` seeds).
+//! * **Deterministic by default.** Case `i` of test `t` derives its seed
+//!   from `(hash(t), i)`, so CI runs are reproducible; set
+//!   `PROPTEST_RNG_SEED` to explore a different deterministic stream.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+
+/// Test-case failure raised by the `prop_assert*` macros.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The property did not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Creates a failure with a message.
+    pub fn fail(message: impl fmt::Display) -> TestCaseError {
+        TestCaseError::Fail(message.to_string())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => f.write_str(m),
+        }
+    }
+}
+
+/// Result type the `proptest!` test bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (subset of the real `ProptestConfig`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Configuration running `cases` generated inputs per test.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of random values (subset of the real `Strategy`).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, G: 5)
+}
+
+/// Sub-strategy namespaces (`prop::collection`, `prop::bool`, …).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy for `Vec`s with element strategy `S`.
+        #[derive(Debug, Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            size: SizeRange,
+        }
+
+        /// Generates vectors whose length falls in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy {
+                element,
+                size: size.into(),
+            }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+                let len = if self.size.min >= self.size.max {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..=self.size.max)
+                };
+                (0..len).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy generating both booleans uniformly.
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// The uniform boolean strategy.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+
+            fn generate(&self, rng: &mut StdRng) -> bool {
+                rng.gen_bool(0.5)
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use super::super::{SizeRange, Strategy};
+        use rand::rngs::StdRng;
+        use rand::Rng;
+
+        /// Strategy generating ordered subsequences of a base vector.
+        #[derive(Debug, Clone)]
+        pub struct Subsequence<T> {
+            base: Vec<T>,
+            size: SizeRange,
+        }
+
+        /// Generates subsequences of `base` whose length falls in `size`.
+        pub fn subsequence<T: Clone>(
+            base: Vec<T>,
+            size: impl Into<SizeRange>,
+        ) -> Subsequence<T> {
+            let size = size.into();
+            assert!(
+                size.max <= base.len(),
+                "subsequence length bound exceeds base length"
+            );
+            Subsequence { base, size }
+        }
+
+        impl<T: Clone> Strategy for Subsequence<T> {
+            type Value = Vec<T>;
+
+            fn generate(&self, rng: &mut StdRng) -> Vec<T> {
+                let len = if self.size.min >= self.size.max {
+                    self.size.min
+                } else {
+                    rng.gen_range(self.size.min..=self.size.max)
+                };
+                // Partial Fisher–Yates over the index set, then restore order.
+                let mut indices: Vec<usize> = (0..self.base.len()).collect();
+                for i in 0..len {
+                    let j = rng.gen_range(i..indices.len());
+                    indices.swap(i, j);
+                }
+                let mut chosen = indices[..len].to_vec();
+                chosen.sort_unstable();
+                chosen.iter().map(|&i| self.base[i].clone()).collect()
+            }
+        }
+    }
+}
+
+/// An inclusive size bound for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    /// Minimum length (inclusive).
+    pub min: usize,
+    /// Maximum length (inclusive).
+    pub max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(len: usize) -> SizeRange {
+        SizeRange { min: len, max: len }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> SizeRange {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// Everything the `proptest!` tests import.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+fn seed_for(test_name: &str, case: u64) -> u64 {
+    // FNV-1a over the test name, mixed with the case index and an optional
+    // environment override so different streams can be explored.
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in test_name.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let env: u64 = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    hash ^ case.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ env
+}
+
+/// Drives one `proptest!`-declared test: generates `config.cases` inputs
+/// and runs `test` on each, panicking with the offending input on the
+/// first failure.
+pub fn run_cases<S, F>(config: &ProptestConfig, test_name: &str, strategy: S, mut test: F)
+where
+    S: Strategy,
+    S::Value: fmt::Debug + Clone,
+    F: FnMut(S::Value) -> TestCaseResult,
+{
+    for case in 0..config.cases {
+        let mut rng = StdRng::seed_from_u64(seed_for(test_name, case as u64));
+        let input = strategy.generate(&mut rng);
+        let shown = format!("{input:?}");
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input.clone())));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(TestCaseError::Fail(message))) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {case}\n  input: {shown}\n  {message}"
+                );
+            }
+            Err(panic_payload) => {
+                eprintln!("proptest `{test_name}` panicked at case {case}\n  input: {shown}");
+                std::panic::resume_unwind(panic_payload);
+            }
+        }
+    }
+}
+
+/// Declares property tests: each `fn name(binding in strategy, …) { … }`
+/// item becomes a `#[test]` running [`run_cases`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $($(#[$meta:meta])* fn $name:ident(
+        $($parm:pat in $strategy:expr),+ $(,)?
+    ) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::run_cases(
+                    &$config,
+                    stringify!($name),
+                    ($($strategy,)+),
+                    |($($parm,)+)| {
+                        $body
+                        ::core::result::Result::Ok(())
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the case (with
+/// the generated input reported) rather than panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{:?}` == `{:?}`",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let left = $left;
+        let right = $right;
+        if !(left == right) {
+            return ::core::result::Result::Err($crate::TestCaseError::fail(format!(
+                "{}: `{:?}` != `{:?}`",
+                format!($($fmt)*),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{:?}` != `{:?}`",
+            left,
+            right
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0u16..7, y in 1usize..=4) {
+            prop_assert!(x < 7);
+            prop_assert!((1..=4).contains(&y));
+        }
+
+        #[test]
+        fn vec_lengths_respect_spec(
+            v in prop::collection::vec(0u32..10, 2..5),
+            w in prop::collection::vec(prop::bool::ANY, 3),
+        ) {
+            prop_assert!(v.len() >= 2 && v.len() <= 4);
+            prop_assert_eq!(w.len(), 3);
+        }
+
+        #[test]
+        fn subsequences_preserve_order(
+            sub in prop::sample::subsequence(vec![0usize, 1, 2, 3], 1..=4),
+        ) {
+            prop_assert!(!sub.is_empty());
+            prop_assert!(sub.windows(2).all(|w| w[0] < w[1]));
+        }
+
+        #[test]
+        fn prop_map_applies(doubled in (0u16..5).prop_map(|x| x * 2)) {
+            prop_assert!(doubled % 2 == 0);
+        }
+    }
+
+    #[test]
+    fn failures_report_input() {
+        let result = std::panic::catch_unwind(|| {
+            crate::run_cases(
+                &ProptestConfig::with_cases(8),
+                "always_fails",
+                (0u16..3,),
+                |(_x,)| Err(TestCaseError::fail("nope")),
+            );
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        use crate::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strategy = crate::prop::collection::vec(0u32..100, 0..10);
+        let a: Vec<Vec<u32>> = (0..20)
+            .map(|i| strategy.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        let b: Vec<Vec<u32>> = (0..20)
+            .map(|i| strategy.generate(&mut StdRng::seed_from_u64(i)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,171 @@
+//! Offline stand-in for `rand`, covering the subset this workspace uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen_range`
+//! over integer ranges, and `Rng::gen_bool`.
+//!
+//! The generator is splitmix64 — deterministic per seed, statistically fine
+//! for test-case generation and randomized search, and dependency-free. It
+//! intentionally does NOT reproduce the real `StdRng` stream; all in-repo
+//! uses treat seeds as opaque reproducibility handles, not cross-library
+//! contracts.
+
+/// Integer types that [`Rng::gen_range`] can sample.
+pub trait SampleUniform: Copy {
+    /// Converts from a `u64` sampled uniformly below some bound.
+    fn from_u64(v: u64) -> Self;
+    /// Converts to `u64` for bound arithmetic.
+    fn to_u64(self) -> u64;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64(v: u64) -> Self { v as $t }
+            fn to_u64(self) -> u64 { self as u64 }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize);
+
+// Signed types map through an order-preserving bijection with u64
+// (flip the sign bit), so the range arithmetic stays unsigned.
+macro_rules! impl_sample_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn from_u64(v: u64) -> Self { (v ^ (1 << 63)) as i64 as $t }
+            fn to_u64(self) -> u64 { (self as i64 as u64) ^ (1 << 63) }
+        }
+    )*};
+}
+
+impl_sample_uniform_signed!(i8, i16, i32, i64, isize);
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Samples a value in the range using the provided source of `u64`s.
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let lo = self.start.to_u64();
+        let hi = self.end.to_u64();
+        assert!(lo < hi, "cannot sample empty range");
+        T::from_u64(lo + uniform_below(hi - lo, next))
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample(self, next: &mut dyn FnMut() -> u64) -> T {
+        let lo = self.start().to_u64();
+        let hi = self.end().to_u64();
+        assert!(lo <= hi, "cannot sample empty range");
+        if lo == 0 && hi == u64::MAX {
+            return T::from_u64(next());
+        }
+        T::from_u64(lo + uniform_below(hi - lo + 1, next))
+    }
+}
+
+/// Unbiased uniform sample in `0..bound` by rejection.
+fn uniform_below(bound: u64, next: &mut dyn FnMut() -> u64) -> u64 {
+    debug_assert!(bound > 0);
+    let zone = u64::MAX - (u64::MAX % bound);
+    loop {
+        let v = next();
+        if v < zone {
+            return v % bound;
+        }
+    }
+}
+
+/// The random-generation trait (subset of the real `rand::Rng`).
+pub trait Rng {
+    /// Returns the next raw 64-bit value.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples uniformly from an integer range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        let mut next = || self.next_u64();
+        range.sample(&mut next)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        // 53 uniform mantissa bits, the same resolution the real rand uses.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+/// Seedable generators (subset of the real `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators.
+pub mod rngs {
+    /// A deterministic seedable generator (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl super::SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl super::Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u16 = rng.gen_range(0u16..2);
+            assert!(w < 2);
+            let x: usize = rng.gen_range(1..=4);
+            assert!((1..=4).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..100 {
+            assert!(!rng.gen_bool(0.0));
+            assert!(rng.gen_bool(1.0));
+        }
+    }
+}

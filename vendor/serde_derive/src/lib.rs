@@ -1,0 +1,385 @@
+//! `#[derive(Serialize, Deserialize)]` for the offline serde stand-in.
+//!
+//! Implemented directly over `proc_macro::TokenTree` (no `syn`/`quote`,
+//! which are unavailable offline). Supports exactly the shapes this
+//! workspace serializes, matching serde's JSON conventions:
+//!
+//! * named-field structs → objects;
+//! * newtype (1-field tuple) structs → transparent;
+//! * wider tuple structs → arrays;
+//! * fieldless enum variants → variant-name strings;
+//! * tuple enum variants → externally tagged `{"Variant": …}` objects
+//!   (single field transparent, multiple fields as an array).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported
+//! and produce a compile error rather than silently wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field-less/tuple variant or struct layout.
+enum Shape {
+    /// `struct S { a, b, … }`
+    NamedStruct(Vec<String>),
+    /// `struct S(T, …);` with the arity recorded.
+    TupleStruct(usize),
+    /// `enum E { A, B(T), C(T, U), … }` as `(variant, arity)` pairs.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Parsed {
+    name: String,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}
+
+fn expand(input: TokenStream, gen: fn(&Parsed) -> String) -> TokenStream {
+    match parse(input) {
+        Ok(parsed) => gen(&parsed)
+            .parse()
+            .expect("generated impl parses"),
+        Err(message) => format!("::core::compile_error!({message:?});")
+            .parse()
+            .expect("compile_error parses"),
+    }
+}
+
+fn parse(input: TokenStream) -> Result<Parsed, String> {
+    let mut tokens = input.into_iter().peekable();
+    // Skip outer attributes (`# [ ... ]`) and visibility.
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                tokens.next(); // the bracketed attribute body
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                tokens.next();
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, found {other:?}")),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            return Err(format!("serde stand-in: generic type `{name}` unsupported"));
+        }
+    }
+    let shape = match (kind.as_str(), tokens.next()) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::NamedStruct(parse_named_fields(g.stream())?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            Shape::TupleStruct(count_top_level_fields(g.stream()))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            Shape::Enum(parse_variants(g.stream())?)
+        }
+        (k, t) => return Err(format!("serde stand-in: cannot derive for {k} body {t:?}")),
+    };
+    Ok(Parsed { name, shape })
+}
+
+/// Splits a field list on commas that sit outside `<…>` nesting. Delimited
+/// groups (parens, brackets) are single trees, so only angle brackets need
+/// explicit depth tracking.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut fields = 0usize;
+    let mut depth = 0i32;
+    let mut saw_token = false;
+    for tree in stream {
+        match &tree {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                fields += 1;
+                saw_token = false;
+                continue;
+            }
+            _ => {}
+        }
+        saw_token = true;
+    }
+    if saw_token {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip per-field attributes (doc comments) and visibility.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    tokens.next();
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            return Err(format!("expected field name, found {tree:?}"));
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => return Err(format!("expected `:` after field, found {other:?}")),
+        }
+        names.push(field.to_string());
+        // Skip the type up to the next comma outside angle brackets.
+        let mut depth = 0i32;
+        for tree in tokens.by_ref() {
+            match tree {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+                _ => {}
+            }
+        }
+    }
+    Ok(names)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        while let Some(TokenTree::Punct(p)) = tokens.peek() {
+            if p.as_char() == '#' {
+                tokens.next();
+                tokens.next();
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = tokens.next() else { break };
+        let TokenTree::Ident(variant) = tree else {
+            return Err(format!("expected variant name, found {tree:?}"));
+        };
+        let mut arity = 0usize;
+        match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                arity = count_top_level_fields(g.stream());
+                tokens.next();
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "serde stand-in: struct variant `{}` unsupported",
+                    variant
+                ));
+            }
+            _ => {}
+        }
+        variants.push((variant.to_string(), arity));
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => return Err(format!("expected `,` between variants, found {other:?}")),
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(arity) => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("serde::Value::Array(::std::vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!(
+                        "{name}::{v} => \
+                         serde::Value::Str(::std::string::String::from({v:?}))"
+                    ),
+                    1 => format!(
+                        "{name}::{v}(f0) => serde::Value::Object(::std::vec![\
+                         (::std::string::String::from({v:?}), \
+                          serde::Serialize::to_value(f0))])"
+                    ),
+                    k => {
+                        let binds: Vec<String> = (0..*k).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = (0..*k)
+                            .map(|i| format!("serde::Serialize::to_value(f{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({binds}) => serde::Value::Object(::std::vec![\
+                             (::std::string::String::from({v:?}), \
+                              serde::Value::Array(::std::vec![{items}]))])",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "impl serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(parsed: &Parsed) -> String {
+    let name = &parsed.name;
+    let body = match &parsed.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: serde::Deserialize::from_value(\
+                         serde::field(entries, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let entries = value.as_object().ok_or_else(|| \
+                 serde::Error::custom(\"expected object for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name} {{ {} }})",
+                inits.join(", ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("::core::result::Result::Ok({name}(serde::Deserialize::from_value(value)?))")
+        }
+        Shape::TupleStruct(arity) => {
+            let inits: Vec<String> = (0..*arity)
+                .map(|i| {
+                    format!(
+                        "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                         serde::Error::custom(\"tuple too short for {name}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let items = value.as_array().ok_or_else(|| \
+                 serde::Error::custom(\"expected array for {name}\"))?;\n\
+                 ::core::result::Result::Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => ::core::result::Result::Ok({name}::{v})"))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "{v:?} => ::core::result::Result::Ok(\
+                             {name}::{v}(serde::Deserialize::from_value(inner)?))"
+                        )
+                    } else {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| {
+                                format!(
+                                    "serde::Deserialize::from_value(items.get({i}).ok_or_else(|| \
+                                     serde::Error::custom(\"variant tuple too short\"))?)?"
+                                )
+                            })
+                            .collect();
+                        format!(
+                            "{v:?} => {{ let items = inner.as_array().ok_or_else(|| \
+                             serde::Error::custom(\"expected array variant\"))?;\n\
+                             ::core::result::Result::Ok({name}::{v}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            let mut outer_arms = Vec::new();
+            if !unit_arms.is_empty() {
+                outer_arms.push(format!(
+                    "serde::Value::Str(s) => match s.as_str() {{\n\
+                     {},\n\
+                     _ => ::core::result::Result::Err(serde::Error::custom(\
+                     \"unknown variant of {name}\")),\n\
+                     }}",
+                    unit_arms.join(",\n")
+                ));
+            }
+            if !data_arms.is_empty() {
+                outer_arms.push(format!(
+                    "serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                     let (tag, inner) = &entries[0];\n\
+                     match tag.as_str() {{\n\
+                     {},\n\
+                     _ => ::core::result::Result::Err(serde::Error::custom(\
+                     \"unknown variant of {name}\")),\n\
+                     }}\n\
+                     }}",
+                    data_arms.join(",\n")
+                ));
+            }
+            outer_arms.push(format!(
+                "_ => ::core::result::Result::Err(serde::Error::custom(\
+                 \"expected variant of {name}\"))"
+            ));
+            format!("match value {{\n{}\n}}", outer_arms.join(",\n"))
+        }
+    };
+    format!(
+        "impl serde::Deserialize for {name} {{\n\
+         fn from_value(value: &serde::Value) -> \
+         ::core::result::Result<Self, serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}
