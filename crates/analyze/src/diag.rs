@@ -1,0 +1,439 @@
+//! The diagnostics data model: severities, loci, diagnostics and reports.
+//!
+//! Every lint produces [`Diagnostic`]s — machine-readable findings in the
+//! style of `rustc` — which a [`Report`] collects, sorts deterministically,
+//! and renders either as human-readable text or as JSON (for tooling and
+//! CI).
+
+use serde::Serialize;
+use std::fmt;
+
+/// How bad a finding is.
+///
+/// Ordering is by badness: `Info < Warn < Error`, so
+/// [`Report::worst`] can use `max`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Severity {
+    /// A certified fact worth surfacing (e.g. a readability witness).
+    Info,
+    /// A suspicious but legal construction (e.g. a duplicate operation).
+    Warn,
+    /// A violated hypothesis (e.g. an out-of-range outcome).
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => write!(f, "info"),
+            Severity::Warn => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// What kind of entity a diagnostic points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum LocusKind {
+    /// A whole object type.
+    Type,
+    /// One value of a type.
+    Value,
+    /// One operation of a type.
+    Op,
+    /// One response id of a type.
+    Response,
+    /// One `(value, operation)` cell of a transition table.
+    Cell,
+    /// A whole program (a per-process state machine).
+    Program,
+    /// One local state of a program.
+    State,
+    /// One shared object of a program's heap layout.
+    Object,
+}
+
+impl fmt::Display for LocusKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LocusKind::Type => write!(f, "type"),
+            LocusKind::Value => write!(f, "value"),
+            LocusKind::Op => write!(f, "op"),
+            LocusKind::Response => write!(f, "response"),
+            LocusKind::Cell => write!(f, "cell"),
+            LocusKind::Program => write!(f, "program"),
+            LocusKind::State => write!(f, "state"),
+            LocusKind::Object => write!(f, "object"),
+        }
+    }
+}
+
+/// Where a diagnostic points: a subject (the type or program under
+/// analysis), the kind of entity within it, and a rendered coordinate.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_analyze::{Locus, LocusKind};
+/// let locus = Locus::cell("test-and-set", "v0", "op0");
+/// assert_eq!(locus.kind, LocusKind::Cell);
+/// assert_eq!(locus.to_string(), "test-and-set: cell (v0, op0)");
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize)]
+pub struct Locus {
+    /// The name of the type or program under analysis.
+    pub subject: String,
+    /// The kind of entity pointed at.
+    pub kind: LocusKind,
+    /// The coordinate within the subject (e.g. `"v3"`, `"(v0, op1)"`,
+    /// `"⟨1,0,0⟩"`); empty when the locus is the whole subject.
+    pub detail: String,
+}
+
+impl Locus {
+    /// A locus covering a whole type.
+    pub fn ty(subject: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Type,
+            detail: String::new(),
+        }
+    }
+
+    /// A locus pointing at one value of a type.
+    pub fn value(subject: impl Into<String>, value: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Value,
+            detail: value.into(),
+        }
+    }
+
+    /// A locus pointing at one operation of a type.
+    pub fn op(subject: impl Into<String>, op: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Op,
+            detail: op.into(),
+        }
+    }
+
+    /// A locus pointing at one response id of a type.
+    pub fn response(subject: impl Into<String>, response: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Response,
+            detail: response.into(),
+        }
+    }
+
+    /// A locus pointing at one `(value, op)` cell of a transition table.
+    pub fn cell(
+        subject: impl Into<String>,
+        value: impl fmt::Display,
+        op: impl fmt::Display,
+    ) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Cell,
+            detail: format!("({value}, {op})"),
+        }
+    }
+
+    /// A locus covering a whole program.
+    pub fn program(subject: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Program,
+            detail: String::new(),
+        }
+    }
+
+    /// A locus pointing at one local state of a program.
+    pub fn state(subject: impl Into<String>, state: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::State,
+            detail: state.into(),
+        }
+    }
+
+    /// A locus pointing at one shared object of a program's layout.
+    pub fn object(subject: impl Into<String>, object: impl Into<String>) -> Self {
+        Locus {
+            subject: subject.into(),
+            kind: LocusKind::Object,
+            detail: object.into(),
+        }
+    }
+}
+
+impl fmt::Display for Locus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.detail.is_empty() {
+            write!(f, "{}: {}", self.subject, self.kind)
+        } else {
+            write!(f, "{}: {} {}", self.subject, self.kind, self.detail)
+        }
+    }
+}
+
+/// One finding: a stable code, a severity, a locus, a human-readable
+/// message, and an optional suggestion.
+///
+/// Codes are `RCN0xx` for spec lints (over [`rcn_spec::ObjectType`]) and
+/// `RCN1xx` for program lints (over [`rcn_model::Program`] state machines).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Diagnostic {
+    /// The stable lint code, e.g. `"RCN001"`.
+    pub code: String,
+    /// The severity of the finding.
+    pub severity: Severity,
+    /// Where the finding points.
+    pub locus: Locus,
+    /// The human-readable description of the finding.
+    pub message: String,
+    /// An optional actionable suggestion.
+    pub suggestion: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic without a suggestion.
+    pub fn new(code: &str, severity: Severity, locus: Locus, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code: code.to_string(),
+            severity,
+            locus,
+            message: message.into(),
+            suggestion: None,
+        }
+    }
+
+    /// Attaches a suggestion.
+    #[must_use]
+    pub fn with_suggestion(mut self, suggestion: impl Into<String>) -> Self {
+        self.suggestion = Some(suggestion.into());
+        self
+    }
+}
+
+/// `rustc`-style rendering:
+///
+/// ```text
+/// error[RCN001]: outcome of op0 on v0 targets out-of-range v9
+///   --> bad-table: cell (v0, op0)
+///   = help: keep next-value ids below num_values
+/// ```
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}[{}]: {}", self.severity, self.code, self.message)?;
+        write!(f, "  --> {}", self.locus)?;
+        if let Some(s) = &self.suggestion {
+            write!(f, "\n  = help: {s}")?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered collection of diagnostics for one analysis run.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_analyze::{Diagnostic, Locus, Report, Severity};
+/// let mut report = Report::new();
+/// report.push(Diagnostic::new(
+///     "RCN001",
+///     Severity::Error,
+///     Locus::ty("bad"),
+///     "something is off",
+/// ));
+/// assert_eq!(report.errors(), 1);
+/// assert!(report.render_text().contains("error[RCN001]"));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize)]
+pub struct Report {
+    /// The findings, in deterministic order (severity-descending, then
+    /// code, then locus) after [`finish`](Report::finish).
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds one diagnostic.
+    pub fn push(&mut self, diag: Diagnostic) {
+        self.diagnostics.push(diag);
+    }
+
+    /// Appends all diagnostics of another report.
+    pub fn merge(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Sorts the diagnostics deterministically: errors first, then by
+    /// code, subject and locus detail.
+    pub fn finish(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            b.severity
+                .cmp(&a.severity)
+                .then_with(|| a.code.cmp(&b.code))
+                .then_with(|| a.locus.subject.cmp(&b.locus.subject))
+                .then_with(|| a.locus.detail.cmp(&b.locus.detail))
+                .then_with(|| a.message.cmp(&b.message))
+        });
+    }
+
+    /// Number of diagnostics with the given severity.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Number of errors.
+    pub fn errors(&self) -> usize {
+        self.count(Severity::Error)
+    }
+
+    /// Number of warnings.
+    pub fn warnings(&self) -> usize {
+        self.count(Severity::Warn)
+    }
+
+    /// The worst severity present, or `None` for an empty report.
+    pub fn worst(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Returns `true` if the report should fail a gated run: it contains
+    /// an error, or (`deny_warnings`) a warning.
+    pub fn should_fail(&self, deny_warnings: bool) -> bool {
+        match self.worst() {
+            Some(Severity::Error) => true,
+            Some(Severity::Warn) => deny_warnings,
+            _ => false,
+        }
+    }
+
+    /// Renders the report as human-readable text, one rustc-style block
+    /// per diagnostic plus a summary line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            out.push_str(&d.to_string());
+            out.push_str("\n\n");
+        }
+        out.push_str(&format!(
+            "{} error{}, {} warning{}, {} info",
+            self.errors(),
+            if self.errors() == 1 { "" } else { "s" },
+            self.warnings(),
+            if self.warnings() == 1 { "" } else { "s" },
+            self.count(Severity::Info),
+        ));
+        out.push('\n');
+        out
+    }
+
+    /// Renders the report as pretty-printed JSON.
+    pub fn render_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serialization cannot fail")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        let mut r = Report::new();
+        r.push(Diagnostic::new(
+            "RCN005",
+            Severity::Info,
+            Locus::op("tas", "op1"),
+            "op1 is a read",
+        ));
+        r.push(
+            Diagnostic::new(
+                "RCN001",
+                Severity::Error,
+                Locus::cell("tas", "v0", "op0"),
+                "outcome out of range",
+            )
+            .with_suggestion("fix the table"),
+        );
+        r.push(Diagnostic::new(
+            "RCN004",
+            Severity::Warn,
+            Locus::op("tas", "op2"),
+            "duplicate op",
+        ));
+        r
+    }
+
+    #[test]
+    fn severity_orders_by_badness() {
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+        assert_eq!(Severity::Error.to_string(), "error");
+    }
+
+    #[test]
+    fn finish_sorts_errors_first() {
+        let mut r = sample();
+        r.finish();
+        assert_eq!(r.diagnostics[0].code, "RCN001");
+        assert_eq!(r.worst(), Some(Severity::Error));
+        assert_eq!(r.errors(), 1);
+        assert_eq!(r.warnings(), 1);
+    }
+
+    #[test]
+    fn gating_honours_deny_warnings() {
+        let mut warn_only = Report::new();
+        warn_only.push(Diagnostic::new(
+            "RCN004",
+            Severity::Warn,
+            Locus::ty("t"),
+            "m",
+        ));
+        assert!(!warn_only.should_fail(false));
+        assert!(warn_only.should_fail(true));
+        assert!(!Report::new().should_fail(true));
+        assert!(sample().should_fail(false));
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let mut r = sample();
+        r.finish();
+        let text = r.render_text();
+        assert!(text.contains("error[RCN001]: outcome out of range"));
+        assert!(text.contains("--> tas: cell (v0, op0)"));
+        assert!(text.contains("= help: fix the table"));
+        assert!(text.contains("1 error, 1 warning, 1 info"));
+    }
+
+    #[test]
+    fn json_rendering_mentions_all_fields() {
+        let json = sample().render_json();
+        assert!(json.contains("\"code\": \"RCN001\""));
+        assert!(json.contains("\"severity\": \"Error\""));
+        assert!(json.contains("\"suggestion\""));
+    }
+
+    #[test]
+    fn locus_constructors_render() {
+        assert_eq!(Locus::ty("t").to_string(), "t: type");
+        assert_eq!(Locus::value("t", "v1").to_string(), "t: value v1");
+        assert_eq!(Locus::response("t", "r2").to_string(), "t: response r2");
+        assert_eq!(Locus::program("p").to_string(), "p: program");
+        assert_eq!(Locus::state("p", "⟨1⟩").to_string(), "p: state ⟨1⟩");
+        assert_eq!(Locus::object("p", "obj0").to_string(), "p: object obj0");
+    }
+}

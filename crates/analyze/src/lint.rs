@@ -1,0 +1,194 @@
+//! The lint traits and the default registry.
+//!
+//! A lint is a small, named check with a stable `RCN0xx`/`RCN1xx` code.
+//! [`Registry::with_defaults`] wires up every built-in lint; callers then
+//! use [`Registry::lint_type`] for sequential specifications and
+//! [`Registry::lint_system`] for protocol programs.
+
+use crate::diag::Report;
+use crate::explore::{explore_process, ExploreConfig, ProcessGraph};
+use rcn_model::System;
+use rcn_spec::ObjectType;
+
+/// A lint over a sequential specification ([`ObjectType`]).
+pub trait SpecLint {
+    /// Stable diagnostic code, e.g. `"RCN001"`.
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name, e.g. `"closedness"`.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint checks.
+    fn description(&self) -> &'static str;
+    /// Runs the lint, pushing diagnostics into `report`.
+    fn check(&self, ty: &dyn ObjectType, report: &mut Report);
+}
+
+/// A lint over a protocol program, given its per-process abstract state
+/// graphs.
+pub trait ProgramLint {
+    /// Stable diagnostic code, e.g. `"RCN101"`.
+    fn code(&self) -> &'static str;
+    /// Short kebab-case name, e.g. `"no-output-path"`.
+    fn name(&self) -> &'static str;
+    /// One-line description of what the lint checks.
+    fn description(&self) -> &'static str;
+    /// Runs the lint, pushing diagnostics into `report`.
+    fn check(
+        &self,
+        sys: &System,
+        graphs: &[ProcessGraph],
+        cfg: &ExploreConfig,
+        report: &mut Report,
+    );
+}
+
+/// The set of lints to run, in order.
+pub struct Registry {
+    spec_lints: Vec<Box<dyn SpecLint>>,
+    program_lints: Vec<Box<dyn ProgramLint>>,
+}
+
+impl Registry {
+    /// An empty registry with no lints.
+    pub fn new() -> Self {
+        Registry {
+            spec_lints: Vec::new(),
+            program_lints: Vec::new(),
+        }
+    }
+
+    /// The full built-in lint set: `RCN001`–`RCN006` over specifications
+    /// and `RCN100`–`RCN104` over programs.
+    pub fn with_defaults() -> Self {
+        let mut r = Registry::new();
+        r.register_spec(Box::new(crate::spec_lints::Closedness));
+        r.register_spec(Box::new(crate::spec_lints::UnreachableValues));
+        r.register_spec(Box::new(crate::spec_lints::DeadResponses));
+        r.register_spec(Box::new(crate::spec_lints::DuplicateOps));
+        r.register_spec(Box::new(crate::spec_lints::Readability));
+        r.register_spec(Box::new(crate::spec_lints::IdempotentOps));
+        r.register_program(Box::new(crate::program_lints::AnalysisBound));
+        r.register_program(Box::new(crate::program_lints::NoOutputPath));
+        r.register_program(Box::new(crate::program_lints::TransitionTotality));
+        r.register_program(Box::new(crate::program_lints::DeadObjects));
+        r.register_program(Box::new(crate::program_lints::CrashDivergence));
+        r
+    }
+
+    /// Appends a specification lint.
+    pub fn register_spec(&mut self, lint: Box<dyn SpecLint>) {
+        self.spec_lints.push(lint);
+    }
+
+    /// Appends a program lint.
+    pub fn register_program(&mut self, lint: Box<dyn ProgramLint>) {
+        self.program_lints.push(lint);
+    }
+
+    /// `(code, name, description)` for every registered lint, spec lints
+    /// first.
+    pub fn descriptions(&self) -> Vec<(&'static str, &'static str, &'static str)> {
+        let mut out: Vec<_> = self
+            .spec_lints
+            .iter()
+            .map(|l| (l.code(), l.name(), l.description()))
+            .collect();
+        out.extend(
+            self.program_lints
+                .iter()
+                .map(|l| (l.code(), l.name(), l.description())),
+        );
+        out
+    }
+
+    /// Lints a sequential specification.
+    ///
+    /// Closedness (`RCN001`) gates the rest: if the table is not a valid
+    /// total specification, the structural lints would chase nonsense, so
+    /// they are skipped.
+    pub fn lint_type(&self, ty: &dyn ObjectType) -> Report {
+        let mut report = Report::new();
+        for lint in &self.spec_lints {
+            lint.check(ty, &mut report);
+            if lint.code() == "RCN001" && report.errors() > 0 {
+                break;
+            }
+        }
+        report.finish();
+        report
+    }
+
+    /// Lints a protocol program by exploring each process's abstract
+    /// state graph once and handing the graphs to every program lint.
+    pub fn lint_system(&self, sys: &System, cfg: &ExploreConfig) -> Report {
+        let graphs: Vec<ProcessGraph> = sys
+            .processes()
+            .into_iter()
+            .map(|pid| explore_process(sys, pid, cfg))
+            .collect();
+        let mut report = Report::new();
+        for lint in &self.program_lints {
+            lint.check(sys, &graphs, cfg, &mut report);
+        }
+        report.finish();
+        report
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_cover_all_codes() {
+        let r = Registry::with_defaults();
+        let codes: Vec<&str> = r.descriptions().iter().map(|(c, _, _)| *c).collect();
+        assert_eq!(
+            codes,
+            [
+                "RCN001", "RCN002", "RCN003", "RCN004", "RCN005", "RCN006", "RCN100", "RCN101",
+                "RCN102", "RCN103", "RCN104"
+            ]
+        );
+    }
+
+    #[test]
+    fn unclosed_spec_gates_structural_lints() {
+        struct Broken;
+        impl rcn_spec::ObjectType for Broken {
+            fn name(&self) -> String {
+                "broken".into()
+            }
+            fn num_values(&self) -> usize {
+                2
+            }
+            fn num_ops(&self) -> usize {
+                1
+            }
+            fn num_responses(&self) -> usize {
+                1
+            }
+            fn apply(&self, v: rcn_spec::ValueId, _op: rcn_spec::OpId) -> rcn_spec::Outcome {
+                // Out-of-range next value for v1.
+                rcn_spec::Outcome::new(rcn_spec::Response(0), rcn_spec::ValueId(v.0 + 7))
+            }
+        }
+        let report = Registry::with_defaults().lint_type(&Broken);
+        assert!(report.errors() > 0);
+        assert!(report.diagnostics.iter().all(|d| d.code == "RCN001"));
+    }
+
+    #[test]
+    fn clean_type_reaches_info_lints() {
+        let reg = Registry::with_defaults();
+        let report = reg.lint_type(&rcn_spec::zoo::Register::new(3));
+        assert_eq!(report.errors(), 0);
+        // Readability + idempotence always have something to say.
+        assert!(report.diagnostics.iter().any(|d| d.code == "RCN005"));
+    }
+}

@@ -1,0 +1,57 @@
+//! Property-based robustness: the linter must never panic, and its
+//! verdicts must respect basic invariants, on arbitrary valid tables.
+
+use proptest::prelude::*;
+use rcn_analyze::Registry;
+use rcn_spec::{Outcome, Response, TableType, ValueId};
+
+/// Builds a valid (closed) table from fuzz data: sizes plus a flat pool of
+/// `(response, next)` seeds reduced into range.
+fn build_table(nv: usize, no: usize, nr: usize, cells: &[(u16, u16)]) -> TableType {
+    let mut b = TableType::builder("fuzz", nv, no, nr);
+    for v in 0..nv {
+        for op in 0..no {
+            let (r, n) = cells[v * no + op];
+            b.set(
+                v as u16,
+                op as u16,
+                Outcome::new(Response(r % nr as u16), ValueId(n % nv as u16)),
+            );
+        }
+    }
+    b.build().expect("reduced outcomes are always in range")
+}
+
+proptest! {
+    /// Linting an arbitrary valid table terminates without panicking and
+    /// never reports closedness errors (the builder guarantees closure).
+    #[test]
+    fn linter_never_panics_on_valid_tables(
+        nv in 1usize..6,
+        no in 1usize..5,
+        nr in 1usize..6,
+        cells in prop::collection::vec((0u16..64, 0u16..64), 30),
+    ) {
+        let table = build_table(nv, no, nr, &cells);
+        let report = Registry::with_defaults().lint_type(&table);
+        prop_assert!(report.diagnostics.iter().all(|d| d.code != "RCN001"));
+        prop_assert_eq!(report.errors(), 0);
+    }
+
+    /// The linter agrees with `TableType::validate` on serde round-trips:
+    /// a table that validates lints without errors.
+    #[test]
+    fn lint_and_validate_agree_after_roundtrip(
+        nv in 1usize..5,
+        no in 1usize..4,
+        nr in 1usize..5,
+        cells in prop::collection::vec((0u16..64, 0u16..64), 20),
+    ) {
+        let table = build_table(nv, no, nr, &cells);
+        let json = serde_json::to_string(&table).unwrap();
+        let back: TableType = serde_json::from_str(&json).unwrap();
+        prop_assert!(back.validate().is_ok());
+        let report = Registry::with_defaults().lint_type(&back);
+        prop_assert_eq!(report.errors(), 0);
+    }
+}

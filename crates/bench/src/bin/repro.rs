@@ -6,6 +6,9 @@
 //! `readability` (default: all). See EXPERIMENTS.md for the mapping to the
 //! paper.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 use rcn_bench::{mixed_inputs, readable_zoo};
 use rcn_core::{shipped_xn, HierarchyReport};
 use rcn_decide::{

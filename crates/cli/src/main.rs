@@ -10,7 +10,11 @@
 //! rcn solve <type> <inputs…>         build + exhaustively verify a
 //!                                    recoverable consensus protocol
 //! rcn simulate-tnn <n> <n'> <inputs…> model-check the paper's §4 algorithm
+//! rcn lint [<type>…|--all]           run the static analyzer (rcn-analyze)
 //! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 mod types;
 
@@ -41,10 +45,7 @@ fn run(args: &[String]) -> Result<(), String> {
             Ok(())
         }
         Some("types") => {
-            println!("{:<18} description", "expression");
-            for (expr, desc) in CATALOGUE {
-                println!("{expr:<18} {desc}");
-            }
+            cmd_types();
             Ok(())
         }
         Some("classify") => cmd_classify(&args.collect::<Vec<_>>()),
@@ -54,6 +55,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("table") => cmd_table(&args.collect::<Vec<_>>()),
         Some("solve") => cmd_solve(&args.collect::<Vec<_>>()),
         Some("simulate-tnn") => cmd_simulate_tnn(&args.collect::<Vec<_>>()),
+        Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -77,6 +79,33 @@ fn print_help() {
     println!("  table <type>                        transition table");
     println!("  solve <type> <input>…               build + verify recoverable consensus");
     println!("  simulate-tnn <n> <n'> <input>…      model-check the §4 recoverable algorithm");
+    println!("  lint [<type>…|--all] [--json]       run the static analyzer over types (and,");
+    println!("       [--deny warnings]              with --all, the shipped protocols)");
+}
+
+/// Prints the type catalogue with per-type readability and size columns
+/// (parameterized entries are instantiated at their defaults).
+fn cmd_types() {
+    println!(
+        "{:<18} {:<8} {:>6} {:>4} {:>6}  description",
+        "expression", "readable", "values", "ops", "resps"
+    );
+    for (expr, desc) in CATALOGUE {
+        let base = expr.split([':', '+']).next().unwrap_or(expr);
+        match parse_type(base) {
+            Ok(ty) => println!(
+                "{expr:<18} {:<8} {:>6} {:>4} {:>6}  {desc}",
+                if ty.is_readable() { "yes" } else { "no" },
+                ty.num_values(),
+                ty.num_ops(),
+                ty.num_responses()
+            ),
+            Err(_) => println!(
+                "{expr:<18} {:<8} {:>6} {:>4} {:>6}  {desc}",
+                "-", "-", "-", "-"
+            ),
+        }
+    }
 }
 
 fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
@@ -93,7 +122,7 @@ fn positional<'a>(args: &'a [&'a str]) -> impl Iterator<Item = &'a str> + 'a {
             return false;
         }
         if a.starts_with("--") {
-            skip_next = matches!(*a, "--cap" | "--threads"); // flags with values
+            skip_next = matches!(*a, "--cap" | "--threads" | "--deny"); // flags with values
             return false;
         }
         true
@@ -282,6 +311,90 @@ fn cmd_simulate_tnn(args: &[&str]) -> Result<(), String> {
     Ok(())
 }
 
+/// The default type expressions `rcn lint --all` covers: every catalogue
+/// entry instantiated at its defaults.
+const LINT_ALL_TYPES: &[&str] = &[
+    "register",
+    "tas",
+    "faa",
+    "swap",
+    "cas",
+    "sticky",
+    "consensus",
+    "mconsensus",
+    "queue",
+    "stack",
+    "tnn",
+    "team-counter",
+    "xn",
+    "tas+read",
+];
+
+fn cmd_lint(args: &[&str]) -> Result<(), String> {
+    use rcn_analyze::{ExploreConfig, Registry, Report};
+
+    let json = args.contains(&"--json");
+    let deny_warnings = match flag_value(args, "--deny") {
+        None => false,
+        Some("warnings") => true,
+        Some(other) => return Err(format!("unknown --deny level `{other}` (try `warnings`)")),
+    };
+    let all = args.contains(&"--all");
+    let specs: Vec<&str> = if all {
+        LINT_ALL_TYPES.to_vec()
+    } else {
+        positional(args).collect()
+    };
+    if specs.is_empty() {
+        return Err("usage: rcn lint [<type>…|--all] [--json] [--deny warnings]".into());
+    }
+
+    let registry = Registry::with_defaults();
+    let mut combined = Report::new();
+    for spec in &specs {
+        // `table:FILE` is loaded *without* up-front validation here: letting
+        // the linter itself report closedness holes (RCN001) on a hand-edited
+        // table is the point of linting it. Other commands keep the strict
+        // `parse_type` path.
+        let ty: types::DynType = if let Some(path) = spec.strip_prefix("table:") {
+            let json =
+                std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+            let table: rcn_spec::TableType = serde_json::from_str(&json)
+                .map_err(|e| format!("bad table JSON in {path}: {e}"))?;
+            std::sync::Arc::new(table)
+        } else {
+            parse_type(spec).map_err(|e| e.to_string())?
+        };
+        combined.merge(registry.lint_type(&*ty));
+    }
+    if all {
+        // The shipped recoverable protocols ride along with --all: the §4
+        // T_{n,n'} algorithm and the tournament over a sticky bit.
+        let cfg = ExploreConfig::default();
+        let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+        combined.merge(registry.lint_system(&sys, &cfg));
+        let sticky: types::DynType = std::sync::Arc::new(rcn_spec::zoo::StickyBit::new());
+        let sys = rcn_core::solve_recoverable(sticky, vec![1, 0, 1]).map_err(|e| e.to_string())?;
+        combined.merge(registry.lint_system(&sys, &cfg));
+    }
+    combined.finish();
+
+    if json {
+        println!("{}", combined.render_json());
+    } else {
+        print!("{}", combined.render_text());
+    }
+    if combined.should_fail(deny_warnings) {
+        Err(format!(
+            "lint failed: {} error(s), {} warning(s)",
+            combined.errors(),
+            combined.warnings()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -369,6 +482,54 @@ mod tests {
     #[test]
     fn simulate_tnn_runs() {
         assert!(run(&s(&["simulate-tnn", "4", "2", "0", "1"])).is_ok());
+    }
+
+    #[test]
+    fn lint_runs_clean_on_types_and_catalogue() {
+        assert!(run(&s(&["lint", "tas"])).is_ok());
+        assert!(run(&s(&["lint", "sticky", "register:3", "--json"])).is_ok());
+        assert!(run(&s(&["lint", "--all", "--deny", "warnings"])).is_ok());
+        assert!(run(&s(&["lint"])).is_err());
+        assert!(run(&s(&["lint", "tas", "--deny", "everything"])).is_err());
+        assert!(run(&s(&["lint", "warp-drive"])).is_err());
+    }
+
+    #[test]
+    fn lint_deny_warnings_gates_the_exit_code() {
+        // A closed table with a 2-cycle unreachable from its only source
+        // value: valid, but trips the RCN002 warning.
+        let mut b = rcn_spec::TableType::builder("cli-island", 3, 1, 1);
+        use rcn_spec::{Outcome, Response, ValueId};
+        b.set(0, 0, Outcome::new(Response(0), ValueId(0)));
+        b.set(1, 0, Outcome::new(Response(0), ValueId(2)));
+        b.set(2, 0, Outcome::new(Response(0), ValueId(1)));
+        let table = b.build().unwrap();
+        let path = std::env::temp_dir().join("rcn_cli_lint_island.json");
+        std::fs::write(&path, serde_json::to_string(&table).unwrap()).unwrap();
+        let spec = format!("table:{}", path.display());
+        assert!(run(&s(&["lint", &spec])).is_ok());
+        assert!(run(&s(&["lint", &spec, "--deny", "warnings"])).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn lint_reports_closedness_on_unvalidated_tables() {
+        // An out-of-range table that `parse_type` would reject up front:
+        // `lint` loads it unvalidated so RCN001 itself reports the holes
+        // (and fails the command), while e.g. `classify` still refuses it.
+        let json = r#"{
+            "name": "cli-broken", "num_values": 2, "num_ops": 1, "num_responses": 2,
+            "table": [[{"response": 9, "next": 0}], [{"response": 0, "next": 1}]],
+            "value_names": ["v0", "v1"], "op_names": ["op0"],
+            "response_names": ["r0", "r1"]
+        }"#;
+        let path = std::env::temp_dir().join("rcn_cli_lint_broken.json");
+        std::fs::write(&path, json).unwrap();
+        let spec = format!("table:{}", path.display());
+        let err = run(&s(&["lint", &spec])).unwrap_err();
+        assert!(err.contains("1 error"), "unexpected error: {err}");
+        assert!(run(&s(&["classify", &spec])).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

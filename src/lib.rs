@@ -25,3 +25,5 @@
 #![warn(missing_docs)]
 
 pub use rcn_core::*;
+
+pub use rcn_analyze as analyze;

@@ -90,8 +90,8 @@ mod tests {
 
     #[test]
     fn join_returns_value() {
-        let out = super::scope(|s| s.spawn(|_| 41 + 1).join().expect("no panic"))
-            .expect("threads join");
+        let out =
+            super::scope(|s| s.spawn(|_| 41 + 1).join().expect("no panic")).expect("threads join");
         assert_eq!(out, 42);
     }
 

@@ -219,10 +219,7 @@ pub mod prop {
         }
 
         /// Generates subsequences of `base` whose length falls in `size`.
-        pub fn subsequence<T: Clone>(
-            base: Vec<T>,
-            size: impl Into<SizeRange>,
-        ) -> Subsequence<T> {
+        pub fn subsequence<T: Clone>(base: Vec<T>, size: impl Into<SizeRange>) -> Subsequence<T> {
             let size = size.into();
             assert!(
                 size.max <= base.len(),
@@ -324,7 +321,8 @@ where
         let mut rng = StdRng::seed_from_u64(seed_for(test_name, case as u64));
         let input = strategy.generate(&mut rng);
         let shown = format!("{input:?}");
-        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input.clone())));
+        let outcome =
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| test(input.clone())));
         match outcome {
             Ok(Ok(())) => {}
             Ok(Err(TestCaseError::Fail(message))) => {

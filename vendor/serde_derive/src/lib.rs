@@ -45,9 +45,7 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 fn expand(input: TokenStream, gen: fn(&Parsed) -> String) -> TokenStream {
     match parse(input) {
-        Ok(parsed) => gen(&parsed)
-            .parse()
-            .expect("generated impl parses"),
+        Ok(parsed) => gen(&parsed).parse().expect("generated impl parses"),
         Err(message) => format!("::core::compile_error!({message:?});")
             .parse()
             .expect("compile_error parses"),
