@@ -1,0 +1,92 @@
+//! Persistent-cache and partition-sharding benchmarks: cold-vs-warm
+//! classification with a `DiskCache` attached, and the partition-sharded
+//! search grain against the instance-level default.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcn_decide::{DiskCache, PartitionSharding, SearchEngine};
+use rcn_spec::zoo::{TeamCounter, Tnn};
+use std::path::PathBuf;
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rcn-bench-cache-{tag}-{}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Cold run (empty cache directory, every analysis computed and persisted)
+/// vs. warm run (every analysis loaded from disk). The warm/cold ratio is
+/// the headline number for the persistent cache.
+fn cold_vs_warm_classify(c: &mut Criterion) {
+    let ty = TeamCounter::new(4);
+    let mut group = c.benchmark_group("disk_cache_classify_team_counter_cap4");
+    group.sample_size(10);
+
+    group.bench_function("cold", |b| {
+        let dir = scratch("cold");
+        b.iter(|| {
+            // Start from an empty directory every iteration: this measures
+            // compute + serialize + persist.
+            std::fs::remove_dir_all(&dir).ok();
+            let engine = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+            criterion::black_box(engine.classify(&ty, 4).expect("cap in range"));
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.bench_function("warm", |b| {
+        let dir = scratch("warm");
+        // Populate once; every iteration then loads instead of computing.
+        SearchEngine::sequential()
+            .with_disk_cache(DiskCache::new(&dir))
+            .classify(&ty, 4)
+            .expect("cap in range");
+        b.iter(|| {
+            let engine = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+            criterion::black_box(engine.classify(&ty, 4).expect("cap in range"));
+        });
+        std::fs::remove_dir_all(&dir).ok();
+    });
+
+    group.bench_function("no-cache", |b| {
+        b.iter(|| {
+            let engine = SearchEngine::sequential();
+            criterion::black_box(engine.classify(&ty, 4).expect("cap in range"));
+        });
+    });
+    group.finish();
+}
+
+/// Partition-level sharding on a partition-dominated workload: `T_{6,1}`
+/// refutation at n = 7 has few instances but a large partition set per
+/// instance, exactly the shape where instance-level sharding alone cannot
+/// keep several workers busy. On a single-core host the two grains should
+/// tie (the sharded task list must not cost measurable overhead).
+fn partition_sharding_refutation(c: &mut Criterion) {
+    let t = Tnn::new(6, 1);
+    let mut group = c.benchmark_group("partition_sharding_tnn61_refute_n7");
+    group.sample_size(10);
+    for (label, sharding) in [
+        ("instance-grain", PartitionSharding::Never),
+        ("partition-grain", PartitionSharding::Always),
+    ] {
+        for threads in [1usize, 4] {
+            group.bench_with_input(BenchmarkId::new(label, threads), &threads, |b, &threads| {
+                let engine = SearchEngine::new(threads).with_partition_sharding(sharding);
+                b.iter(|| {
+                    assert!(engine
+                        .find_discerning_witness(&t, 7)
+                        .expect("level in range")
+                        .is_none());
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    cold_vs_warm_classify,
+    partition_sharding_refutation
+);
+criterion_main!(benches);

@@ -18,7 +18,7 @@
 
 mod types;
 
-use rcn_decide::{explain_discerning, explain_recording, SearchEngine};
+use rcn_decide::{explain_discerning, explain_recording, DiskCache, SearchEngine};
 use rcn_protocols::TnnRecoverable;
 use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_valency::check_consensus;
@@ -69,11 +69,13 @@ fn print_help() {
     println!("  compare <type>… [--cap N]           hierarchy table over several types");
     println!("  witness <type> <n> [kind]           find + explain a discerning/recording witness");
     println!();
-    println!("search options (classify, compare, witness):");
+    println!("search options (classify, compare, witness; `--flag value` or `--flag=value`):");
     println!(
         "  --threads N                         search worker threads (0 = all cores, default 1)"
     );
-    println!("  --stats                             print search statistics (analyses, cache hits, wall time)");
+    println!("  --cache-dir DIR                     persist analyses under DIR and reuse them on later runs");
+    println!("  --no-cache                          ignore --cache-dir (search without the persistent cache)");
+    println!("  --stats                             print search statistics (analyses, cache/disk hits, wall time)");
     println!();
     println!("  dot <type> [--self-loops]           Graphviz state machine");
     println!("  table <type>                        transition table");
@@ -108,39 +110,118 @@ fn cmd_types() {
     }
 }
 
-fn flag_value<'a>(args: &[&'a str], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|&a| a == flag)
-        .and_then(|i| args.get(i + 1).copied())
+/// Flags taking a value shared by the search commands (`classify`,
+/// `compare`, `witness`); `--cap` is appended where it applies.
+const SEARCH_VALUE_FLAGS: &[&str] = &["--threads", "--cache-dir"];
+/// Valueless switches shared by the search commands.
+const SEARCH_SWITCH_FLAGS: &[&str] = &["--stats", "--no-cache"];
+
+/// Command arguments split against an explicit per-command flag catalogue.
+///
+/// Every `--` token must name a declared flag — unknown flags, a value
+/// flag without a value, and a switch given an inline `=value` are all
+/// usage errors, so a typed flag is never silently dropped (`--cap=6`
+/// previously ran at the default cap with no diagnostic).
+struct Parsed<'a> {
+    positionals: Vec<&'a str>,
+    values: Vec<(&'static str, &'a str)>,
+    switches: Vec<&'static str>,
 }
 
-fn positional<'a>(args: &'a [&'a str]) -> impl Iterator<Item = &'a str> + 'a {
-    let mut skip_next = false;
-    args.iter().copied().filter(move |a| {
-        if skip_next {
-            skip_next = false;
-            return false;
+impl<'a> Parsed<'a> {
+    /// The value of `flag`, if given (last occurrence wins).
+    fn value(&self, flag: &str) -> Option<&'a str> {
+        self.values
+            .iter()
+            .rev()
+            .find(|(f, _)| *f == flag)
+            .map(|&(_, v)| v)
+    }
+
+    /// Whether the switch `flag` was given.
+    fn has(&self, flag: &str) -> bool {
+        self.switches.contains(&flag)
+    }
+}
+
+/// Splits `args` into positionals and the flags the command declares,
+/// accepting both `--flag value` and `--flag=value` spellings.
+fn parse_args<'a>(
+    args: &[&'a str],
+    value_flags: &[&'static str],
+    switch_flags: &[&'static str],
+) -> Result<Parsed<'a>, String> {
+    let mut parsed = Parsed {
+        positionals: Vec::new(),
+        values: Vec::new(),
+        switches: Vec::new(),
+    };
+    let mut iter = args.iter().copied();
+    while let Some(tok) = iter.next() {
+        let Some(body) = tok.strip_prefix("--") else {
+            parsed.positionals.push(tok);
+            continue;
+        };
+        let (name, inline) = match body.split_once('=') {
+            Some((n, v)) => (n, Some(v)),
+            None => (body, None),
+        };
+        if let Some(&flag) = value_flags.iter().find(|f| f[2..] == *name) {
+            let value = match inline {
+                Some(v) => v,
+                None => iter
+                    .next()
+                    .ok_or_else(|| format!("missing value for `{flag}`"))?,
+            };
+            parsed.values.push((flag, value));
+        } else if let Some(&flag) = switch_flags.iter().find(|f| f[2..] == *name) {
+            if inline.is_some() {
+                return Err(format!("`{flag}` does not take a value"));
+            }
+            parsed.switches.push(flag);
+        } else {
+            return Err(format!("unknown flag `--{name}`"));
         }
-        if a.starts_with("--") {
-            skip_next = matches!(*a, "--cap" | "--threads" | "--deny"); // flags with values
-            return false;
-        }
-        true
-    })
+    }
+    Ok(parsed)
+}
+
+/// Parses `--cap` (default 4) and applies the shared lower-bound guard:
+/// a cap below 2 would make the level scan vacuous and misreport level 1
+/// as an uncapped result.
+fn cap_from_args(parsed: &Parsed) -> Result<usize, String> {
+    let cap: usize = parsed
+        .value("--cap")
+        .map(|v| v.parse().map_err(|_| "cap must be a number"))
+        .transpose()?
+        .unwrap_or(4);
+    if cap < 2 {
+        return Err("cap must be at least 2".into());
+    }
+    Ok(cap)
 }
 
 /// Builds the search engine from `--threads` (default: 1 worker, i.e. the
-/// plain sequential search; 0 = one worker per core).
-fn engine_from_args(args: &[&str]) -> Result<SearchEngine, String> {
-    let threads: usize = flag_value(args, "--threads")
+/// plain sequential search; 0 = one worker per core) and the persistent
+/// cache flags: `--cache-dir DIR` attaches a [`DiskCache`] rooted at
+/// `DIR`; `--no-cache` wins over it.
+fn engine_from_args(parsed: &Parsed) -> Result<SearchEngine, String> {
+    let threads: usize = parsed
+        .value("--threads")
         .map(|v| v.parse().map_err(|_| "threads must be a number"))
         .transpose()?
         .unwrap_or(1);
-    Ok(SearchEngine::new(threads))
+    let mut engine = SearchEngine::new(threads);
+    if !parsed.has("--no-cache") {
+        if let Some(dir) = parsed.value("--cache-dir") {
+            engine = engine.with_disk_cache(DiskCache::new(dir));
+        }
+    }
+    Ok(engine)
 }
 
-fn maybe_print_stats(args: &[&str], engine: &SearchEngine) {
-    if args.contains(&"--stats") {
+fn maybe_print_stats(parsed: &Parsed, engine: &SearchEngine) {
+    if parsed.has("--stats") {
         let n = engine.threads();
         println!(
             "search stats        : {} ({n} thread{})",
@@ -151,15 +232,17 @@ fn maybe_print_stats(args: &[&str], engine: &SearchEngine) {
 }
 
 fn cmd_classify(args: &[&str]) -> Result<(), String> {
-    let spec = positional(args)
-        .next()
-        .ok_or("usage: rcn classify <type> [--cap N] [--threads N] [--stats]")?;
-    let cap: usize = flag_value(args, "--cap")
-        .map(|v| v.parse().map_err(|_| "cap must be a number"))
-        .transpose()?
-        .unwrap_or(4);
+    let parsed = parse_args(
+        args,
+        &["--cap", "--threads", "--cache-dir"],
+        SEARCH_SWITCH_FLAGS,
+    )?;
+    let [spec] = parsed.positionals[..] else {
+        return Err("usage: rcn classify <type> [--cap N] [--threads N] [--stats]".into());
+    };
+    let cap = cap_from_args(&parsed)?;
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    let engine = engine_from_args(args)?;
+    let engine = engine_from_args(&parsed)?;
     let c = engine.classify(&*ty, cap).map_err(|e| e.to_string())?;
     println!("type                : {}", c.type_name);
     println!("readable            : {}", c.readable);
@@ -173,36 +256,36 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
     if let Some(w) = &c.recording.witness {
         println!("recording witness   : {}", w.describe(&*ty));
     }
-    maybe_print_stats(args, &engine);
+    maybe_print_stats(&parsed, &engine);
     Ok(())
 }
 
 fn cmd_compare(args: &[&str]) -> Result<(), String> {
-    let cap: usize = flag_value(args, "--cap")
-        .map(|v| v.parse().map_err(|_| "cap must be a number"))
-        .transpose()?
-        .unwrap_or(4);
-    let specs: Vec<&str> = positional(args).collect();
-    if specs.is_empty() {
+    let parsed = parse_args(
+        args,
+        &["--cap", "--threads", "--cache-dir"],
+        SEARCH_SWITCH_FLAGS,
+    )?;
+    let cap = cap_from_args(&parsed)?;
+    if parsed.positionals.is_empty() {
         return Err("usage: rcn compare <type>… [--cap N] [--threads N] [--stats]".into());
     }
-    if cap < 2 {
-        return Err("cap must be at least 2".into());
-    }
-    let types = specs
+    let types = parsed
+        .positionals
         .iter()
         .map(|spec| parse_type(spec).map_err(|e| e.to_string()))
         .collect::<Result<Vec<_>, _>>()?;
-    let engine = engine_from_args(args)?;
+    let engine = engine_from_args(&parsed)?;
     let mut report = rcn_core::HierarchyReport::new(cap);
     report.add_all(&types, &engine).map_err(|e| e.to_string())?;
     println!("{report}");
-    maybe_print_stats(args, &engine);
+    maybe_print_stats(&parsed, &engine);
     Ok(())
 }
 
 fn cmd_witness(args: &[&str]) -> Result<(), String> {
-    let mut pos = positional(args);
+    let parsed = parse_args(args, SEARCH_VALUE_FLAGS, SEARCH_SWITCH_FLAGS)?;
+    let mut pos = parsed.positionals.iter().copied();
     let spec = pos.next().ok_or("usage: rcn witness <type> <n> [kind]")?;
     let n: usize = pos
         .next()
@@ -211,7 +294,7 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
         .map_err(|_| "n must be a number ≥ 2")?;
     let kind = pos.next().unwrap_or("recording");
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    let engine = engine_from_args(args)?;
+    let engine = engine_from_args(&parsed)?;
     match kind {
         "discerning" => match engine
             .find_discerning_witness(&*ty, n)
@@ -233,19 +316,25 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
             ))
         }
     }
-    maybe_print_stats(args, &engine);
+    maybe_print_stats(&parsed, &engine);
     Ok(())
 }
 
 fn cmd_dot(args: &[&str]) -> Result<(), String> {
-    let spec = positional(args).next().ok_or("usage: rcn dot <type>")?;
+    let parsed = parse_args(args, &[], &["--self-loops"])?;
+    let [spec] = parsed.positionals[..] else {
+        return Err("usage: rcn dot <type> [--self-loops]".into());
+    };
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    print!("{}", to_dot(&*ty, args.contains(&"--self-loops")));
+    print!("{}", to_dot(&*ty, parsed.has("--self-loops")));
     Ok(())
 }
 
 fn cmd_table(args: &[&str]) -> Result<(), String> {
-    let spec = positional(args).next().ok_or("usage: rcn table <type>")?;
+    let parsed = parse_args(args, &[], &[])?;
+    let [spec] = parsed.positionals[..] else {
+        return Err("usage: rcn table <type>".into());
+    };
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
     println!("{}", to_table_text(&*ty));
     Ok(())
@@ -264,8 +353,9 @@ fn parse_inputs_slice(items: &[&str]) -> Result<Vec<u32>, String> {
 }
 
 fn cmd_solve(args: &[&str]) -> Result<(), String> {
-    let pos: Vec<&str> = positional(args).collect();
-    let (spec, rest) = pos
+    let parsed = parse_args(args, &[], &[])?;
+    let (spec, rest) = parsed
+        .positionals
         .split_first()
         .ok_or("usage: rcn solve <type> <input>…")?;
     let inputs = parse_inputs_slice(rest)?;
@@ -289,7 +379,7 @@ fn cmd_solve(args: &[&str]) -> Result<(), String> {
 }
 
 fn cmd_simulate_tnn(args: &[&str]) -> Result<(), String> {
-    let pos: Vec<&str> = positional(args).collect();
+    let pos = parse_args(args, &[], &[])?.positionals;
     if pos.len() < 3 {
         return Err("usage: rcn simulate-tnn <n> <n'> <input>…".into());
     }
@@ -333,17 +423,18 @@ const LINT_ALL_TYPES: &[&str] = &[
 fn cmd_lint(args: &[&str]) -> Result<(), String> {
     use rcn_analyze::{ExploreConfig, Registry, Report};
 
-    let json = args.contains(&"--json");
-    let deny_warnings = match flag_value(args, "--deny") {
+    let parsed = parse_args(args, &["--deny"], &["--json", "--all"])?;
+    let json = parsed.has("--json");
+    let deny_warnings = match parsed.value("--deny") {
         None => false,
         Some("warnings") => true,
         Some(other) => return Err(format!("unknown --deny level `{other}` (try `warnings`)")),
     };
-    let all = args.contains(&"--all");
+    let all = parsed.has("--all");
     let specs: Vec<&str> = if all {
         LINT_ALL_TYPES.to_vec()
     } else {
-        positional(args).collect()
+        parsed.positionals.clone()
     };
     if specs.is_empty() {
         return Err("usage: rcn lint [<type>…|--all] [--json] [--deny warnings]".into());
@@ -404,6 +495,35 @@ mod tests {
     }
 
     #[test]
+    fn parse_args_splits_flags_and_positionals() {
+        let p = parse_args(
+            &["tas", "--cap=6", "--stats", "--threads", "2", "extra"],
+            &["--cap", "--threads"],
+            &["--stats"],
+        )
+        .unwrap();
+        assert_eq!(p.positionals, vec!["tas", "extra"]);
+        assert_eq!(p.value("--cap"), Some("6"));
+        assert_eq!(p.value("--threads"), Some("2"));
+        assert!(p.has("--stats"));
+        assert!(!p.has("--no-cache"));
+        // Last occurrence wins, and `=` may appear inside the value.
+        let p = parse_args(&["--cap=3", "--cap=4"], &["--cap"], &[]).unwrap();
+        assert_eq!(p.value("--cap"), Some("4"));
+        let p = parse_args(&["--cache-dir=/tmp/a=b"], &["--cache-dir"], &[]).unwrap();
+        assert_eq!(p.value("--cache-dir"), Some("/tmp/a=b"));
+    }
+
+    #[test]
+    fn parse_args_rejects_malformed_flags() {
+        assert!(parse_args(&["--bogus"], &["--cap"], &["--stats"]).is_err());
+        assert!(parse_args(&["--cap"], &["--cap"], &[]).is_err());
+        assert!(parse_args(&["--stats=1"], &[], &["--stats"]).is_err());
+        // A prefix of a known flag is not that flag.
+        assert!(parse_args(&["--ca", "6"], &["--cap"], &[]).is_err());
+    }
+
+    #[test]
     fn help_and_types_run() {
         assert!(run(&s(&["help"])).is_ok());
         assert!(run(&s(&["types"])).is_ok());
@@ -449,9 +569,57 @@ mod tests {
     fn out_of_range_caps_error_instead_of_panicking() {
         assert!(run(&s(&["classify", "tas", "--cap", "25"])).is_err());
         assert!(run(&s(&["classify", "tas", "--cap", "1"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--cap", "0"])).is_err());
         assert!(run(&s(&["witness", "tas", "25", "recording"])).is_err());
         assert!(run(&s(&["compare", "tas", "--cap", "25"])).is_err());
         assert!(run(&s(&["classify", "tas", "--threads", "x"])).is_err());
+    }
+
+    #[test]
+    fn equals_style_flag_values_are_honored() {
+        // `--cap=6` used to be silently dropped (the search ran at the
+        // default cap 4). Now the value is seen: `--cap=1` must trip the
+        // same guard as `--cap 1`, and `--cap=3` must succeed.
+        assert!(run(&s(&["classify", "tas", "--cap=3"])).is_ok());
+        assert!(run(&s(&["classify", "tas", "--cap=1"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--cap=25"])).is_err());
+        assert!(run(&s(&[
+            "compare",
+            "tas",
+            "register:2",
+            "--cap=3",
+            "--threads=2"
+        ]))
+        .is_ok());
+        assert!(run(&s(&["witness", "sticky", "3", "recording", "--threads=2"])).is_ok());
+        assert!(run(&s(&["lint", "tas", "--deny=warnings"])).is_ok());
+    }
+
+    #[test]
+    fn malformed_flags_are_usage_errors_not_ignored() {
+        let err = run(&s(&["classify", "tas", "--pac", "6"])).unwrap_err();
+        assert!(err.contains("unknown flag `--pac`"), "got: {err}");
+        let err = run(&s(&["classify", "tas", "--cap"])).unwrap_err();
+        assert!(err.contains("missing value for `--cap`"), "got: {err}");
+        let err = run(&s(&["classify", "tas", "--stats=yes"])).unwrap_err();
+        assert!(err.contains("does not take a value"), "got: {err}");
+        // Flags another search command accepts are still rejected where
+        // they mean nothing, instead of being silently swallowed.
+        assert!(run(&s(&["witness", "tas", "2", "--cap", "6"])).is_err());
+        assert!(run(&s(&["dot", "tas", "--cap", "3"])).is_err());
+        assert!(run(&s(&["table", "tas", "--stats"])).is_err());
+    }
+
+    #[test]
+    fn cache_flags_round_trip_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("rcn-cli-cache-{}", std::process::id()));
+        let dir = dir.to_str().unwrap();
+        // Cold run populates, warm run must agree; --no-cache wins.
+        assert!(run(&s(&["classify", "tas", "--cache-dir", dir])).is_ok());
+        assert!(run(&s(&["classify", "tas", &format!("--cache-dir={dir}")])).is_ok());
+        assert!(run(&s(&["classify", "tas", "--cache-dir", dir, "--no-cache"])).is_ok());
+        assert!(run(&s(&["witness", "sticky", "3", "--cache-dir", dir])).is_ok());
+        std::fs::remove_dir_all(dir).ok();
     }
 
     #[test]

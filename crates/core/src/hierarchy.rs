@@ -204,6 +204,15 @@ mod tests {
             );
         }
         assert!(engine.stats().analyses_computed > 0);
+        // Concurrent classifications overlap in time: the engine's wall
+        // time is the union of in-flight intervals and must never exceed
+        // the summed per-search busy time (the old counter summed per-call
+        // durations as "wall time", which overshot real elapsed time here).
+        let stats = engine.stats();
+        assert!(
+            stats.wall_time <= stats.busy_time,
+            "wall must not exceed busy: {stats}"
+        );
     }
 
     #[test]

@@ -1,10 +1,16 @@
 //! A small fixed-capacity bitset used for value sets and
 //! (response, value)-pair sets inside the deciders.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A fixed-capacity bitset over `0..capacity`.
-#[derive(Clone, PartialEq, Eq, Hash)]
+///
+/// Serializes as `{"words": […], "capacity": N}` (the persistent analysis
+/// cache stores these); deserialized sets must be re-validated with
+/// [`is_well_formed`](Self::is_well_formed) before use, since the wire
+/// format cannot enforce the words-match-capacity invariant.
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub struct BitSet {
     words: Vec<u64>,
     capacity: usize,
@@ -79,6 +85,22 @@ impl BitSet {
     pub fn intersects(&self, other: &BitSet) -> bool {
         assert_eq!(self.capacity, other.capacity, "bitset capacity mismatch");
         self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Returns `true` if the internal representation is consistent: the
+    /// word vector has exactly the length the capacity requires and no bit
+    /// at or above `capacity` is set. Always true for sets built through
+    /// this API; deserialized sets must be checked before use (a stray high
+    /// bit would corrupt [`intersects`](Self::intersects)).
+    pub fn is_well_formed(&self) -> bool {
+        if self.words.len() != self.capacity.div_ceil(64) {
+            return false;
+        }
+        let tail = self.capacity % 64;
+        match self.words.last() {
+            Some(&last) if tail != 0 => last & !((1u64 << tail) - 1) == 0,
+            _ => true,
+        }
     }
 
     /// Iterates over the elements in increasing order.

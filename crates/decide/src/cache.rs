@@ -1,0 +1,446 @@
+//! Persistent (on-disk) analysis caching for the search engine.
+//!
+//! A reachability [`Analysis`] is the expensive part of every decider
+//! instance, and the same `(initial value, op-multiset)` analyses recur
+//! across CLI invocations — repeated `classify` / `compare` / `witness`
+//! calls on the same type rebuild identical reachability graphs from
+//! scratch. This module makes the engine's per-call memo cache *durable*:
+//!
+//! * [`DiskCache`] serializes analyses to JSON files in a cache directory,
+//!   one file per `(type, level)` pair. Files carry a format-version header
+//!   and a content [`type_fingerprint`] of the type's full transition
+//!   table, so a renamed, stale, truncated, corrupted, or hand-edited file
+//!   can never poison a search — any mismatch degrades silently to a full
+//!   recompute. Writes go to a temporary file first and are published with
+//!   an atomic rename, so concurrent CLI invocations sharing a cache
+//!   directory never observe half-written files.
+//! * [`AnalysisStore`] is the per-search session cache the engine works
+//!   against: an in-memory memo map (shared by both deciders of a
+//!   `classify`) whose per-instance slots are `OnceLock`s — so when the
+//!   partition-sharded search points several workers at one instance,
+//!   exactly one of them computes the analysis and the rest wait for it
+//!   instead of duplicating the work — optionally warmed from and flushed
+//!   back to a [`DiskCache`].
+//!
+//! Trust model: a cache entry is only used if the whole file parses, the
+//! version and fingerprint match, and every analysis passes
+//! [`Analysis::shape_matches`] for its instance key. Shape-valid but
+//! *wrong* analysis contents (a deliberately falsified cache) are
+//! indistinguishable from genuine ones, as with any persisted index —
+//! delete the cache directory to rebuild from scratch.
+
+use crate::engine::SearchEngine;
+use crate::reach::Analysis;
+use rcn_spec::{ObjectType, OpId, ValueId};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Version stamp written into every cache file. Bump on any change to the
+/// serialized shape of [`Analysis`] or the file layout; readers silently
+/// ignore files with any other version.
+pub const CACHE_FORMAT_VERSION: u32 = 1;
+
+/// 64-bit FNV-1a content hash of a type's *semantics*: its dimensions and
+/// the full `(value, op) → (response, next)` transition table.
+///
+/// Two types with the same fingerprint have identical sequential
+/// specifications (up to hash collision), so their analyses are
+/// interchangeable — names and display strings deliberately do not
+/// participate. This keys the on-disk cache: editing a table invalidates
+/// its cached analyses automatically.
+pub fn type_fingerprint<T: ObjectType + ?Sized>(ty: &T) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |x: u64| {
+        for byte in x.to_le_bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(ty.num_values() as u64);
+    mix(ty.num_ops() as u64);
+    mix(ty.num_responses() as u64);
+    for v in 0..ty.num_values() {
+        for op in 0..ty.num_ops() {
+            let out = ty.apply(ValueId(v as u16), OpId(op as u16));
+            mix(out.response.index() as u64);
+            mix(out.next.index() as u64);
+        }
+    }
+    hash
+}
+
+/// One persisted `(instance, analysis)` pair.
+#[derive(Serialize, Deserialize)]
+struct CacheEntry {
+    /// The instance's initial value.
+    initial: u16,
+    /// The instance's op multiset (one op id per process).
+    ops: Vec<u16>,
+    /// The instance's reachability analysis.
+    analysis: Analysis,
+}
+
+/// The on-disk file shape: versioned header plus the entries.
+#[derive(Serialize, Deserialize)]
+struct CacheFile {
+    /// Must equal [`CACHE_FORMAT_VERSION`].
+    version: u32,
+    /// Must equal the [`type_fingerprint`] of the type being searched.
+    fingerprint: u64,
+    /// The level `n` (number of processes) all entries belong to.
+    level: u64,
+    /// The cached analyses.
+    entries: Vec<CacheEntry>,
+}
+
+/// A directory of persisted analyses.
+///
+/// Cheap to clone and to construct; the directory is created lazily on the
+/// first successful write. All read errors — missing file, unreadable
+/// file, malformed JSON, version or fingerprint mismatch, out-of-range
+/// instance keys, shape-invalid analyses — are deliberately silent: the
+/// cache is a pure accelerator and must never turn a computable answer
+/// into a failure.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_decide::{DiskCache, SearchEngine};
+/// use rcn_spec::zoo::TestAndSet;
+///
+/// let dir = std::env::temp_dir().join("rcn-doctest-cache");
+/// let cold = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+/// cold.classify(&TestAndSet::new(), 3).unwrap();
+///
+/// let warm = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+/// warm.classify(&TestAndSet::new(), 3).unwrap();
+/// assert!(warm.stats().disk_hits > 0, "warm run is served from disk");
+/// # std::fs::remove_dir_all(&dir).ok();
+/// ```
+#[derive(Debug, Clone)]
+pub struct DiskCache {
+    dir: PathBuf,
+}
+
+impl DiskCache {
+    /// Creates a handle on `dir` (not touched until the first write).
+    pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
+        DiskCache { dir: dir.into() }
+    }
+
+    /// The cache directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The file that holds level-`n` analyses for a type with this
+    /// fingerprint.
+    fn file_path(&self, fingerprint: u64, n: usize) -> PathBuf {
+        self.dir
+            .join(format!("analysis-{fingerprint:016x}-n{n}.json"))
+    }
+
+    /// Loads every valid level-`n` entry for the fingerprinted type.
+    /// Anything invalid — at file or entry granularity — is skipped.
+    fn load<T: ObjectType + ?Sized>(
+        &self,
+        ty: &T,
+        fingerprint: u64,
+        n: usize,
+    ) -> HashMap<(u16, Vec<OpId>), Arc<Analysis>> {
+        let mut out = HashMap::new();
+        let Ok(text) = std::fs::read_to_string(self.file_path(fingerprint, n)) else {
+            return out;
+        };
+        let Ok(file) = serde_json::from_str::<CacheFile>(&text) else {
+            return out;
+        };
+        if file.version != CACHE_FORMAT_VERSION
+            || file.fingerprint != fingerprint
+            || file.level != n as u64
+        {
+            return out;
+        }
+        let (num_values, num_ops) = (ty.num_values(), ty.num_ops());
+        for entry in file.entries {
+            if usize::from(entry.initial) >= num_values
+                || entry.ops.len() != n
+                || entry.ops.iter().any(|&op| usize::from(op) >= num_ops)
+                || !entry
+                    .analysis
+                    .shape_matches(n, num_values, ty.num_responses())
+            {
+                continue;
+            }
+            let key = (entry.initial, entry.ops.iter().map(|&o| OpId(o)).collect());
+            out.insert(key, Arc::new(entry.analysis));
+        }
+        out
+    }
+
+    /// Persists level-`n` entries atomically (write temp file, rename).
+    /// Returns `true` on success; IO failures are silent (the cache is
+    /// best-effort), reported only through the return value.
+    fn store(
+        &self,
+        fingerprint: u64,
+        n: usize,
+        entries: Vec<(u16, Vec<OpId>, Arc<Analysis>)>,
+    ) -> bool {
+        let file = CacheFile {
+            version: CACHE_FORMAT_VERSION,
+            fingerprint,
+            level: n as u64,
+            entries: entries
+                .into_iter()
+                .map(|(initial, ops, analysis)| CacheEntry {
+                    initial,
+                    ops: ops.iter().map(|op| op.0).collect(),
+                    // Entries are written once per level flush; the clone
+                    // out of the shared Arc is the serialization cost.
+                    analysis: (*analysis).clone(),
+                })
+                .collect(),
+        };
+        let Ok(json) = serde_json::to_string(&file) else {
+            return false;
+        };
+        if std::fs::create_dir_all(&self.dir).is_err() {
+            return false;
+        }
+        let path = self.file_path(fingerprint, n);
+        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+        if std::fs::write(&tmp, json).is_err() {
+            return false;
+        }
+        std::fs::rename(&tmp, &path).is_ok()
+    }
+}
+
+/// How a memoized analysis slot was first populated (for the stats split
+/// between in-memory and on-disk hits).
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Origin {
+    /// Loaded from a [`DiskCache`] file.
+    Disk,
+    /// Computed during this search session.
+    Fresh,
+}
+
+/// One memo slot: a lazily-initialized analysis. `OnceLock` makes
+/// concurrent workers on the same instance block-and-share instead of
+/// recomputing — essential once the partition-sharded search sends several
+/// workers at a single instance.
+struct Slot {
+    cell: Arc<OnceLock<Arc<Analysis>>>,
+    origin: Origin,
+}
+
+/// The per-search-session analysis cache: in-memory memo map, optionally
+/// backed by a [`DiskCache`]. Scoped to one type; `classify` shares one
+/// across both deciders (the second decider's scan hits the memo), and the
+/// disk layer extends that sharing across process lifetimes.
+pub(crate) struct AnalysisStore<'d> {
+    memo: Mutex<HashMap<(u16, Vec<OpId>), Slot>>,
+    disk: Option<(&'d DiskCache, u64)>,
+    /// Levels already pulled from disk (so `classify`'s second decider
+    /// doesn't re-read the same files).
+    loaded_levels: Mutex<HashSet<usize>>,
+    /// Per-level number of entries already persisted, so a flush only
+    /// rewrites a file when the session actually learned something new.
+    persisted: Mutex<HashMap<usize, usize>>,
+}
+
+impl<'d> AnalysisStore<'d> {
+    /// Creates a store for one type; fingerprints the type only if a disk
+    /// cache is attached.
+    pub(crate) fn new<T: ObjectType + ?Sized>(ty: &T, disk: Option<&'d DiskCache>) -> Self {
+        AnalysisStore {
+            memo: Mutex::new(HashMap::new()),
+            disk: disk.map(|d| (d, type_fingerprint(ty))),
+            loaded_levels: Mutex::new(HashSet::new()),
+            persisted: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Warms the memo with every valid persisted analysis for level `n`.
+    /// Idempotent per level; a no-op without a disk cache.
+    pub(crate) fn prepare_level<T: ObjectType + ?Sized>(&self, ty: &T, n: usize) {
+        let Some((disk, fingerprint)) = self.disk else {
+            return;
+        };
+        if !self.loaded_levels.lock().expect("loaded levels").insert(n) {
+            return;
+        }
+        let loaded = disk.load(ty, fingerprint, n);
+        let mut memo = self.memo.lock().expect("analysis memo");
+        let mut count = 0usize;
+        for (key, analysis) in loaded {
+            memo.entry(key).or_insert_with(|| {
+                count += 1;
+                let cell = Arc::new(OnceLock::new());
+                let _ = cell.set(analysis);
+                Slot {
+                    cell,
+                    origin: Origin::Disk,
+                }
+            });
+        }
+        *self
+            .persisted
+            .lock()
+            .expect("persisted counts")
+            .entry(n)
+            .or_insert(0) += count;
+    }
+
+    /// Returns the analysis for one instance, computing it at most once
+    /// across all workers. Updates the engine's counters: a computation
+    /// increments `analyses_computed`, a memo hit increments `cache_hits`
+    /// or `disk_hits` depending on where the slot's contents came from.
+    pub(crate) fn get_or_compute<T: ObjectType + ?Sized>(
+        &self,
+        engine: &SearchEngine,
+        ty: &T,
+        u: ValueId,
+        ops: &[OpId],
+    ) -> Arc<Analysis> {
+        let key = (u.index() as u16, ops.to_vec());
+        let (cell, origin) = {
+            let mut memo = self.memo.lock().expect("analysis memo");
+            let slot = memo.entry(key).or_insert_with(|| Slot {
+                cell: Arc::new(OnceLock::new()),
+                origin: Origin::Fresh,
+            });
+            (Arc::clone(&slot.cell), slot.origin)
+        };
+        // Initialize outside the map lock so distinct instances build in
+        // parallel; OnceLock serializes same-instance workers.
+        let mut computed = false;
+        let analysis = cell.get_or_init(|| {
+            computed = true;
+            Arc::new(Analysis::new(ty, u, ops))
+        });
+        let counter = if computed {
+            &engine.counters().analyses_computed
+        } else if origin == Origin::Disk {
+            &engine.counters().disk_hits
+        } else {
+            &engine.counters().cache_hits
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        Arc::clone(analysis)
+    }
+
+    /// Writes the level-`n` portion of the memo back to disk if the session
+    /// produced analyses not yet persisted. Counts newly persisted entries
+    /// into the engine's `disk_entries_written` stat. A no-op without a
+    /// disk cache.
+    pub(crate) fn flush_level(&self, engine: &SearchEngine, n: usize) {
+        let Some((disk, fingerprint)) = self.disk else {
+            return;
+        };
+        let entries: Vec<(u16, Vec<OpId>, Arc<Analysis>)> = {
+            let memo = self.memo.lock().expect("analysis memo");
+            memo.iter()
+                .filter(|((_, ops), _)| ops.len() == n)
+                .filter_map(|((initial, ops), slot)| {
+                    slot.cell
+                        .get()
+                        .map(|a| (*initial, ops.clone(), Arc::clone(a)))
+                })
+                .collect()
+        };
+        let mut persisted = self.persisted.lock().expect("persisted counts");
+        let already = persisted.get(&n).copied().unwrap_or(0);
+        if entries.len() <= already {
+            return;
+        }
+        let fresh = entries.len() - already;
+        if disk.store(fingerprint, n, entries) {
+            persisted.insert(n, already + fresh);
+            engine
+                .counters()
+                .disk_entries_written
+                .fetch_add(fresh as u64, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_spec::zoo::{Register, TestAndSet, Tnn};
+
+    #[test]
+    fn fingerprint_is_semantic_not_nominal() {
+        // Same table, different parameters ⇒ different fingerprints.
+        assert_ne!(
+            type_fingerprint(&Tnn::new(4, 1)),
+            type_fingerprint(&Tnn::new(4, 2))
+        );
+        assert_ne!(
+            type_fingerprint(&Register::new(2)),
+            type_fingerprint(&Register::new(3))
+        );
+        // Deterministic across calls.
+        assert_eq!(
+            type_fingerprint(&TestAndSet::new()),
+            type_fingerprint(&TestAndSet::new())
+        );
+    }
+
+    #[test]
+    fn load_ignores_missing_and_garbage_files() {
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-cache-unit-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cache = DiskCache::new(&dir);
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        // Missing directory entirely: silent empty.
+        assert!(cache.load(&tas, fp, 2).is_empty());
+        // Garbage bytes at the expected path: silent empty.
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(cache.file_path(fp, 2), b"{not json").unwrap();
+        assert!(cache.load(&tas, fp, 2).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn store_then_load_round_trips() {
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-cache-roundtrip-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cache = DiskCache::new(&dir);
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        let ops = vec![OpId(0), OpId(0)];
+        let analysis = Arc::new(Analysis::new(&tas, ValueId(0), &ops));
+        assert!(cache.store(fp, 2, vec![(0, ops.clone(), analysis)]));
+        let loaded = cache.load(&tas, fp, 2);
+        assert_eq!(loaded.len(), 1);
+        let back = &loaded[&(0u16, ops)];
+        assert!(back.shape_matches(2, tas.num_values(), tas.num_responses()));
+        // A different level's file does not exist.
+        assert!(cache.load(&tas, fp, 3).is_empty());
+        // A fingerprint mismatch inside the file is rejected even at the
+        // right path.
+        let path = cache.file_path(fp, 2);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(
+            &path,
+            text.replace(&format!("\"fingerprint\":{fp}"), "\"fingerprint\":1"),
+        )
+        .unwrap();
+        assert!(cache.load(&tas, fp, 2).is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -3,16 +3,35 @@
 //! Both witness searches iterate the same space: `(initial value, op
 //! multiset)` *instances* — each requiring one [`Analysis`] (the expensive
 //! part) — times a set of team partitions (cheap bitset unions). The engine
-//! shards the instance list across worker threads with a shared claim
-//! counter, cancels all workers as soon as any of them finds a witness, and
-//! memoizes analyses in a cache shared across deciders — [`classify`]
+//! shards this space across worker threads with a shared claim counter,
+//! cancels all workers as soon as any of them finds a witness, and memoizes
+//! analyses in a cache shared across deciders — [`classify`]
 //! (`SearchEngine::classify`) runs *both* deciders over the same instance
 //! space, so the second decider's scan hits the cache instead of rebuilding
 //! every reachability graph.
 //!
+//! Two sharding grains are available:
+//!
+//! * **instance-level** (the default when instances are plentiful): one
+//!   task per `(initial value, op multiset)` instance, covering all of its
+//!   partitions;
+//! * **partition-level** ([`PartitionSharding`]): when there are fewer
+//!   instances than workers — few values and ops but a high level `n`, so a
+//!   single instance's `2^(n-1) − 1` partitions dominate — each instance's
+//!   partition list is split into chunks and the chunks become the tasks,
+//!   so one dominant instance no longer serializes the search. Same-
+//!   instance chunks share one analysis (computed exactly once).
+//!
+//! The per-search memo cache can also be made *durable* by attaching a
+//! [`DiskCache`](crate::DiskCache): analyses load from disk before a level
+//! is searched and flush back after, making repeated CLI invocations over
+//! the same types near-instant (see [`crate::cache`] internals for the
+//! trust model).
+//!
 //! Everything the engine does is observable through [`SearchStats`]:
-//! analyses computed vs. served from cache, partitions tested, instances
-//! visited, and wall time.
+//! analyses computed vs. served from the in-memory cache vs. served from
+//! disk, partitions tested, instances visited, entries persisted, and both
+//! time totals (true wall time and summed per-search busy time).
 //!
 //! Results are level-deterministic: the engine reports exactly the levels
 //! the sequential deciders report (the space is either exhausted or a
@@ -21,17 +40,18 @@
 //! certificate, and [`crate::check_recording`] / [`crate::check_discerning`]
 //! replay them independently.
 
+use crate::cache::AnalysisStore;
 use crate::classify::{level_to_bound, TypeClassification};
 use crate::discerning::{pairs_disjoint, LevelResult};
 use crate::reach::{Analysis, MAX_PROCESSES};
 use crate::recording::recording_holds;
 use crate::search::{instances, partitions};
 use crate::witness::{Team, Witness};
+use crate::DiskCache;
 use rcn_spec::{ObjectType, OpId, ValueId};
-use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Errors from engine searches (instead of the deep asserts the plain
@@ -84,32 +104,66 @@ fn validate_level(n: usize) -> Result<(), SearchError> {
     }
 }
 
+/// When the engine shards the inner partition loop across workers (in
+/// addition to the instance-level sharding that is always on).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PartitionSharding {
+    /// Shard partitions only when the instance list alone cannot saturate
+    /// the workers (fewer instances than twice the worker count). The
+    /// default.
+    #[default]
+    Auto,
+    /// Never shard partitions; one task per instance (the pre-sharding
+    /// behavior).
+    Never,
+    /// Always split each instance's partitions into at least two chunks
+    /// (useful for differential testing of the sharded path).
+    Always,
+}
+
 /// A snapshot of the engine's observability counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Reachability analyses actually computed.
     pub analyses_computed: u64,
-    /// Analyses served from the memo cache instead of recomputed.
+    /// Analyses served from the in-memory memo cache instead of recomputed.
     pub cache_hits: u64,
+    /// Analyses served from entries loaded out of the persistent
+    /// [`DiskCache`] (0 when no cache directory is attached).
+    pub disk_hits: u64,
+    /// Analyses newly persisted to the [`DiskCache`] (0 when no cache
+    /// directory is attached).
+    pub disk_entries_written: u64,
     /// Team partitions evaluated against an analysis.
     pub partitions_tested: u64,
     /// `(initial value, op multiset)` instances visited.
     pub instances_visited: u64,
-    /// Total wall time spent inside engine searches.
+    /// Real elapsed time with at least one engine search in flight (the
+    /// union of search intervals — never exceeds actual elapsed time, even
+    /// when searches run concurrently).
     pub wall_time: Duration,
+    /// Per-search durations summed across concurrent searches (total work
+    /// time; ≥ `wall_time` whenever searches overlap).
+    pub busy_time: Duration,
 }
 
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} analyses ({} cache hits), {} partitions over {} instances in {:.3?}",
+            "{} analyses ({} cache hits, {} disk hits), {} partitions over {} instances in {:.3?} wall / {:.3?} busy",
             self.analyses_computed,
             self.cache_hits,
+            self.disk_hits,
             self.partitions_tested,
             self.instances_visited,
             self.wall_time,
-        )
+            self.busy_time,
+        )?;
+        if self.disk_entries_written > 0 {
+            write!(f, " ({} analyses persisted)", self.disk_entries_written)?;
+        }
+        Ok(())
     }
 }
 
@@ -129,10 +183,65 @@ impl Condition {
     }
 }
 
-/// Memo cache of analyses, keyed by instance. Scoped to one type: every
-/// public entry point creates its own cache (and `classify` shares one
-/// across both deciders, which is where the cache earns its keep).
-type AnalysisCache = Mutex<HashMap<(u16, Vec<OpId>), Arc<Analysis>>>;
+/// The engine's raw observability counters (shared with the cache layer).
+#[derive(Default)]
+pub(crate) struct Counters {
+    pub(crate) analyses_computed: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) disk_hits: AtomicU64,
+    pub(crate) disk_entries_written: AtomicU64,
+    pub(crate) partitions_tested: AtomicU64,
+    pub(crate) instances_visited: AtomicU64,
+    pub(crate) busy_nanos: AtomicU64,
+}
+
+/// True-wall-time accounting: the union of in-flight search intervals.
+/// Summing per-call durations (the old behavior) overstates "wall time" as
+/// soon as `HierarchyReport::add_all` runs classifications concurrently on
+/// one engine; this clock only ticks while at least one search is active.
+#[derive(Default)]
+struct WallClock {
+    inner: Mutex<WallState>,
+}
+
+#[derive(Default)]
+struct WallState {
+    active: usize,
+    started: Option<Instant>,
+    total: Duration,
+}
+
+impl WallClock {
+    fn enter(&self) {
+        let mut state = self.inner.lock().expect("wall clock");
+        if state.active == 0 {
+            state.started = Some(Instant::now());
+        }
+        state.active += 1;
+    }
+
+    fn exit(&self) {
+        let mut state = self.inner.lock().expect("wall clock");
+        state.active -= 1;
+        if state.active == 0 {
+            if let Some(started) = state.started.take() {
+                state.total += started.elapsed();
+            }
+        }
+    }
+
+    fn total(&self) -> Duration {
+        self.inner.lock().expect("wall clock").total
+    }
+
+    fn reset(&self) {
+        let mut state = self.inner.lock().expect("wall clock");
+        state.total = Duration::ZERO;
+        if state.active > 0 {
+            state.started = Some(Instant::now());
+        }
+    }
+}
 
 /// The parallel, instrumented witness-search engine.
 ///
@@ -150,11 +259,10 @@ type AnalysisCache = Mutex<HashMap<(u16, Vec<OpId>), Arc<Analysis>>>;
 /// ```
 pub struct SearchEngine {
     threads: usize,
-    analyses_computed: AtomicU64,
-    cache_hits: AtomicU64,
-    partitions_tested: AtomicU64,
-    instances_visited: AtomicU64,
-    wall_nanos: AtomicU64,
+    sharding: PartitionSharding,
+    disk: Option<DiskCache>,
+    counters: Counters,
+    wall: WallClock,
 }
 
 impl SearchEngine {
@@ -168,11 +276,10 @@ impl SearchEngine {
         };
         SearchEngine {
             threads,
-            analyses_computed: AtomicU64::new(0),
-            cache_hits: AtomicU64::new(0),
-            partitions_tested: AtomicU64::new(0),
-            instances_visited: AtomicU64::new(0),
-            wall_nanos: AtomicU64::new(0),
+            sharding: PartitionSharding::default(),
+            disk: None,
+            counters: Counters::default(),
+            wall: WallClock::default(),
         }
     }
 
@@ -181,30 +288,69 @@ impl SearchEngine {
         SearchEngine::new(1)
     }
 
+    /// Attaches a persistent analysis cache: every level search warms its
+    /// memo from `cache`'s directory first and flushes newly computed
+    /// analyses back after. See [`DiskCache`] for the trust model.
+    #[must_use]
+    pub fn with_disk_cache(mut self, cache: DiskCache) -> SearchEngine {
+        self.disk = Some(cache);
+        self
+    }
+
+    /// Overrides the partition-sharding policy (default
+    /// [`PartitionSharding::Auto`]).
+    #[must_use]
+    pub fn with_partition_sharding(mut self, sharding: PartitionSharding) -> SearchEngine {
+        self.sharding = sharding;
+        self
+    }
+
     /// The number of worker threads searches run on.
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The attached persistent cache, if any.
+    pub fn disk_cache(&self) -> Option<&DiskCache> {
+        self.disk.as_ref()
+    }
+
+    /// The partition-sharding policy in effect.
+    pub fn partition_sharding(&self) -> PartitionSharding {
+        self.sharding
+    }
+
+    pub(crate) fn counters(&self) -> &Counters {
+        &self.counters
     }
 
     /// Snapshot of the counters accumulated since creation (or the last
     /// [`reset_stats`](Self::reset_stats)).
     pub fn stats(&self) -> SearchStats {
         SearchStats {
-            analyses_computed: self.analyses_computed.load(Ordering::Relaxed),
-            cache_hits: self.cache_hits.load(Ordering::Relaxed),
-            partitions_tested: self.partitions_tested.load(Ordering::Relaxed),
-            instances_visited: self.instances_visited.load(Ordering::Relaxed),
-            wall_time: Duration::from_nanos(self.wall_nanos.load(Ordering::Relaxed)),
+            analyses_computed: self.counters.analyses_computed.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+            disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            disk_entries_written: self.counters.disk_entries_written.load(Ordering::Relaxed),
+            partitions_tested: self.counters.partitions_tested.load(Ordering::Relaxed),
+            instances_visited: self.counters.instances_visited.load(Ordering::Relaxed),
+            wall_time: self.wall.total(),
+            busy_time: Duration::from_nanos(self.counters.busy_nanos.load(Ordering::Relaxed)),
         }
     }
 
     /// Zeroes the counters.
     pub fn reset_stats(&self) {
-        self.analyses_computed.store(0, Ordering::Relaxed);
-        self.cache_hits.store(0, Ordering::Relaxed);
-        self.partitions_tested.store(0, Ordering::Relaxed);
-        self.instances_visited.store(0, Ordering::Relaxed);
-        self.wall_nanos.store(0, Ordering::Relaxed);
+        self.counters.analyses_computed.store(0, Ordering::Relaxed);
+        self.counters.cache_hits.store(0, Ordering::Relaxed);
+        self.counters.disk_hits.store(0, Ordering::Relaxed);
+        self.counters
+            .disk_entries_written
+            .store(0, Ordering::Relaxed);
+        self.counters.partitions_tested.store(0, Ordering::Relaxed);
+        self.counters.instances_visited.store(0, Ordering::Relaxed);
+        self.counters.busy_nanos.store(0, Ordering::Relaxed);
+        self.wall.reset();
     }
 
     /// Searches for an `n`-recording witness (parallel equivalent of
@@ -219,8 +365,8 @@ impl SearchEngine {
         n: usize,
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
-        let cache = AnalysisCache::default();
-        Ok(self.find_witness(ty, n, Condition::Recording, &cache, self.threads))
+        let store = AnalysisStore::new(ty, self.disk.as_ref());
+        Ok(self.find_witness(ty, n, Condition::Recording, &store, self.threads))
     }
 
     /// Searches for an `n`-discerning witness (parallel equivalent of
@@ -235,8 +381,8 @@ impl SearchEngine {
         n: usize,
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
-        let cache = AnalysisCache::default();
-        Ok(self.find_witness(ty, n, Condition::Discerning, &cache, self.threads))
+        let store = AnalysisStore::new(ty, self.disk.as_ref());
+        Ok(self.find_witness(ty, n, Condition::Discerning, &store, self.threads))
     }
 
     /// Computes the recording number up to `cap` (parallel equivalent of
@@ -251,8 +397,8 @@ impl SearchEngine {
         cap: usize,
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
-        let cache = AnalysisCache::default();
-        Ok(self.level_scan(ty, cap, Condition::Recording, &cache, self.threads))
+        let store = AnalysisStore::new(ty, self.disk.as_ref());
+        Ok(self.level_scan(ty, cap, Condition::Recording, &store, self.threads))
     }
 
     /// Computes the discerning number up to `cap` (parallel equivalent of
@@ -267,8 +413,8 @@ impl SearchEngine {
         cap: usize,
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
-        let cache = AnalysisCache::default();
-        Ok(self.level_scan(ty, cap, Condition::Discerning, &cache, self.threads))
+        let store = AnalysisStore::new(ty, self.disk.as_ref());
+        Ok(self.level_scan(ty, cap, Condition::Discerning, &store, self.threads))
     }
 
     /// Classifies a type by running both deciders up to `cap` over a
@@ -276,7 +422,9 @@ impl SearchEngine {
     ///
     /// Both deciders visit the same `(u, ops)` instances at each level, so
     /// the second scan is served largely from cache — visible as
-    /// `cache_hits` in [`stats`](Self::stats).
+    /// `cache_hits` in [`stats`](Self::stats). With a
+    /// [`with_disk_cache`](Self::with_disk_cache)-attached cache, warm
+    /// re-runs are served from `disk_hits` instead of recomputing.
     ///
     /// # Errors
     ///
@@ -305,10 +453,10 @@ impl SearchEngine {
     ) -> Result<TypeClassification, SearchError> {
         validate_level(cap)?;
         let threads = threads.max(1);
-        let cache = AnalysisCache::default();
+        let store = AnalysisStore::new(ty, self.disk.as_ref());
         let readable = ty.is_readable();
-        let discerning = self.level_scan(ty, cap, Condition::Discerning, &cache, threads);
-        let recording = self.level_scan(ty, cap, Condition::Recording, &cache, threads);
+        let discerning = self.level_scan(ty, cap, Condition::Discerning, &store, threads);
+        let recording = self.level_scan(ty, cap, Condition::Recording, &store, threads);
         let consensus_number = level_to_bound(&discerning, readable);
         let recoverable_consensus_number = level_to_bound(&recording, readable);
         Ok(TypeClassification {
@@ -329,7 +477,7 @@ impl SearchEngine {
         ty: &T,
         cap: usize,
         cond: Condition,
-        cache: &AnalysisCache,
+        store: &AnalysisStore<'_>,
         threads: usize,
     ) -> LevelResult {
         let mut best = LevelResult {
@@ -338,7 +486,7 @@ impl SearchEngine {
             witness: None,
         };
         for n in 2..=cap {
-            match self.find_witness(ty, n, cond, cache, threads) {
+            match self.find_witness(ty, n, cond, store, threads) {
                 Some(w) => {
                     best = LevelResult {
                         level: n,
@@ -352,17 +500,31 @@ impl SearchEngine {
         best
     }
 
-    /// The parallel witness search over one level: shard the instance list
+    /// The parallel witness search over one level: shard the task list
     /// across workers, cancel everyone on the first hit.
+    ///
+    /// A task is `(instance, partition range)`. With instance-level
+    /// sharding (the default when instances are plentiful) each instance is
+    /// one task covering all partitions. When the instance list alone
+    /// cannot saturate the workers — or [`PartitionSharding::Always`] —
+    /// each instance's partitions are split into chunks and every chunk is
+    /// its own task, so a single dominant instance is worked by several
+    /// threads at once (its analysis is still computed exactly once; the
+    /// memo's `OnceLock` slots make late chunks wait instead of redo).
     fn find_witness<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
         n: usize,
         cond: Condition,
-        cache: &AnalysisCache,
+        store: &AnalysisStore<'_>,
         threads: usize,
     ) -> Option<Witness> {
+        // Busy brackets wall (start before `enter`, measure after `exit`):
+        // each wall interval nests inside its own busy interval, so the
+        // interval union can never exceed the busy sum.
         let start = Instant::now();
+        self.wall.enter();
+        store.prepare_level(ty, n);
         let space: Vec<(ValueId, Vec<OpId>)> =
             instances(ty.num_values(), ty.num_ops(), n).collect();
         let parts: Vec<Vec<Team>> = partitions(n).collect();
@@ -375,46 +537,79 @@ impl SearchEngine {
             })
             .collect();
 
+        let workers = threads.max(1);
+        let chunk_count = match self.sharding {
+            PartitionSharding::Never => 1,
+            PartitionSharding::Always => 2.max((workers * 2).div_ceil(space.len().max(1))),
+            PartitionSharding::Auto if space.len() < workers * 2 => {
+                (workers * 2).div_ceil(space.len().max(1))
+            }
+            PartitionSharding::Auto => 1,
+        }
+        .min(teams_of.len().max(1));
+        let chunk_size = teams_of.len().div_ceil(chunk_count).max(1);
+        // Task list: instance-major, partition-chunk-minor, so task order
+        // refines the sequential visit order.
+        let num_parts = teams_of.len();
+        let tasks: Vec<(usize, usize, usize)> = (0..space.len())
+            .flat_map(|i| {
+                (0..chunk_count).filter_map(move |c| {
+                    let lo = c * chunk_size;
+                    (lo < num_parts).then(|| (i, lo, (lo + chunk_size).min(num_parts)))
+                })
+            })
+            .collect();
+
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
-        // Earliest-instance witness found so far, so more threads can only
-        // improve (not degrade) how canonical the returned witness is.
-        let found: Mutex<Option<(usize, Witness)>> = Mutex::new(None);
+        // Earliest-(instance, partition) witness found so far, so more
+        // threads or finer sharding can only improve (not degrade) how
+        // canonical the returned witness is.
+        let found: Mutex<Option<((usize, usize), Witness)>> = Mutex::new(None);
 
-        let worker = |budget: &SearchEngine| {
+        let worker = |engine: &SearchEngine| {
             let mut local_instances = 0u64;
             let mut local_partitions = 0u64;
             loop {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                let Some((u, ops)) = space.get(i) else { break };
-                let analysis = budget.analysis_for(ty, *u, ops, cache);
-                local_instances += 1;
-                for (p, (t0, t1)) in teams_of.iter().enumerate() {
+                let t = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&(i, lo, hi)) = tasks.get(t) else {
+                    break;
+                };
+                let (u, ops) = &space[i];
+                let analysis = store.get_or_compute(engine, ty, *u, ops);
+                if lo == 0 {
+                    // Count each instance once, at its first chunk.
+                    local_instances += 1;
+                }
+                for (p, (t0, t1)) in teams_of[lo..hi].iter().enumerate() {
                     local_partitions += 1;
                     if cond.holds(&analysis, *u, t0, t1) {
+                        let p = lo + p;
                         let witness = Witness::new(*u, parts[p].clone(), ops.clone());
                         let mut slot = found.lock().expect("witness slot");
                         match &*slot {
-                            Some((best_i, _)) if *best_i <= i => {}
-                            _ => *slot = Some((i, witness)),
+                            Some((best, _)) if *best <= (i, p) => {}
+                            _ => *slot = Some(((i, p), witness)),
                         }
                         stop.store(true, Ordering::Relaxed);
                         break;
                     }
                 }
             }
-            budget
+            engine
+                .counters
                 .instances_visited
                 .fetch_add(local_instances, Ordering::Relaxed);
-            budget
+            engine
+                .counters
                 .partitions_tested
                 .fetch_add(local_partitions, Ordering::Relaxed);
         };
 
-        let workers = threads.max(1).min(space.len().max(1));
+        let workers = workers.min(tasks.len().max(1));
         if workers <= 1 {
             worker(self);
         } else {
@@ -425,38 +620,14 @@ impl SearchEngine {
             });
         }
 
-        self.wall_nanos.fetch_add(
+        store.flush_level(self, n);
+        self.wall.exit();
+        self.counters.busy_nanos.fetch_add(
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
         let result = found.into_inner().expect("witness slot");
         result.map(|(_, w)| w)
-    }
-
-    /// Gets the analysis of one instance, from cache if available.
-    fn analysis_for<T: ObjectType + ?Sized>(
-        &self,
-        ty: &T,
-        u: ValueId,
-        ops: &[OpId],
-        cache: &AnalysisCache,
-    ) -> Arc<Analysis> {
-        let key = (u.index() as u16, ops.to_vec());
-        if let Some(hit) = cache.lock().expect("analysis cache").get(&key) {
-            self.cache_hits.fetch_add(1, Ordering::Relaxed);
-            return Arc::clone(hit);
-        }
-        // Compute outside the lock so analyses build in parallel; a rare
-        // duplicate computation under a race just warms the same entry.
-        let analysis = Arc::new(Analysis::new(ty, u, ops));
-        self.analyses_computed.fetch_add(1, Ordering::Relaxed);
-        Arc::clone(
-            cache
-                .lock()
-                .expect("analysis cache")
-                .entry(key)
-                .or_insert(analysis),
-        )
     }
 }
 
@@ -565,6 +736,9 @@ mod tests {
         assert!(stats.cache_hits > 0, "second decider should hit: {stats}");
         assert!(stats.analyses_computed > 0);
         assert!(stats.partitions_tested > 0);
+        // No cache directory attached: the disk layer stays silent.
+        assert_eq!(stats.disk_hits, 0);
+        assert_eq!(stats.disk_entries_written, 0);
     }
 
     #[test]
@@ -585,6 +759,29 @@ mod tests {
         assert!(try_recording_number(&tas, 25).is_err());
         assert!(try_discerning_number(&tas, 0).is_err());
         assert!(try_classify(&tas, MAX_PROCESSES + 5).is_err());
+    }
+
+    #[test]
+    fn small_caps_are_errors_at_the_classify_layer() {
+        // `level_scan`'s `2..=cap` loop would be empty for cap < 2 and
+        // silently report level 1 with `capped: false` — a wrong "uncapped"
+        // claim. The validation layer must reject instead.
+        let engine = SearchEngine::sequential();
+        let tas = TestAndSet::new();
+        for cap in [0usize, 1] {
+            assert_eq!(
+                engine.classify(&tas, cap).unwrap_err(),
+                SearchError::LevelTooSmall { n: cap }
+            );
+            assert_eq!(
+                engine.recording_number(&tas, cap).unwrap_err(),
+                SearchError::LevelTooSmall { n: cap }
+            );
+            assert_eq!(
+                engine.discerning_number(&tas, cap).unwrap_err(),
+                SearchError::LevelTooSmall { n: cap }
+            );
+        }
     }
 
     #[test]
@@ -621,5 +818,57 @@ mod tests {
             assert_eq!(again.level, first.level);
             assert_eq!(again.capped, first.capped);
         }
+    }
+
+    #[test]
+    fn partition_sharding_levels_match_instance_sharding() {
+        let t = Tnn::new(4, 2);
+        for threads in [1usize, 4] {
+            let base = SearchEngine::new(threads)
+                .with_partition_sharding(PartitionSharding::Never)
+                .classify(&t, 5)
+                .unwrap();
+            let sharded = SearchEngine::new(threads)
+                .with_partition_sharding(PartitionSharding::Always)
+                .classify(&t, 5)
+                .unwrap();
+            assert_eq!(sharded.discerning.level, base.discerning.level);
+            assert_eq!(sharded.recording.level, base.recording.level);
+            assert_eq!(sharded.consensus_number, base.consensus_number);
+            assert_eq!(
+                sharded.recoverable_consensus_number,
+                base.recoverable_consensus_number
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_partition_sharding_finds_the_canonical_witness() {
+        // With one thread, chunked partition order still visits
+        // (instance, partition) pairs in the sequential order, so the
+        // witness must be bit-identical to the unsharded one.
+        let sticky = StickyBit::new();
+        let base = SearchEngine::sequential()
+            .with_partition_sharding(PartitionSharding::Never)
+            .find_recording_witness(&sticky, 3)
+            .unwrap();
+        let sharded = SearchEngine::sequential()
+            .with_partition_sharding(PartitionSharding::Always)
+            .find_recording_witness(&sticky, 3)
+            .unwrap();
+        assert_eq!(base, sharded);
+    }
+
+    #[test]
+    fn wall_time_never_exceeds_busy_time() {
+        let engine = SearchEngine::new(2);
+        engine.classify(&TestAndSet::new(), 4).unwrap();
+        engine.classify(&StickyBit::new(), 3).unwrap();
+        let stats = engine.stats();
+        assert!(
+            stats.wall_time <= stats.busy_time,
+            "interval union must not exceed summed durations: {stats}"
+        );
+        assert!(stats.busy_time > Duration::ZERO);
     }
 }

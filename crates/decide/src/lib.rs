@@ -36,6 +36,7 @@
 
 mod bitset;
 pub mod brute;
+mod cache;
 mod classify;
 mod discerning;
 mod engine;
@@ -47,13 +48,14 @@ pub mod synthesis;
 mod witness;
 
 pub use bitset::BitSet;
+pub use cache::{type_fingerprint, DiskCache, CACHE_FORMAT_VERSION};
 pub use classify::{classify, robust_level, Bound, TypeClassification};
 pub use discerning::{
     check_discerning, discerning_number, find_discerning_witness, is_n_discerning, LevelResult,
 };
 pub use engine::{
-    try_classify, try_discerning_number, try_recording_number, SearchEngine, SearchError,
-    SearchStats,
+    try_classify, try_discerning_number, try_recording_number, PartitionSharding, SearchEngine,
+    SearchError, SearchStats,
 };
 pub use explain::{explain_discerning, explain_recording};
 pub use reach::{Analysis, MAX_PROCESSES};

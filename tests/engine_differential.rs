@@ -5,7 +5,7 @@
 
 use rcn::decide::{
     check_discerning, check_recording, discerning_number, is_n_discerning, is_n_recording,
-    recording_number, SearchEngine,
+    recording_number, PartitionSharding, SearchEngine,
 };
 use rcn::spec::zoo::{
     CompareAndSwap, ConsensusObject, FetchAndAdd, Register, StickyBit, Swap, TeamCounter,
@@ -123,6 +123,69 @@ fn parallel_runs_are_level_deterministic() {
             again.recoverable_consensus_number,
             reference.recoverable_consensus_number
         );
+    }
+}
+
+#[test]
+fn partition_sharded_search_matches_sequential_for_whole_zoo() {
+    // Partition-level sharding changes the task grain (chunks of one
+    // instance's partitions instead of whole instances), not the answers:
+    // forced-on sharding must agree with the sequential deciders on every
+    // level across the zoo, at both thread counts.
+    for threads in [1usize, 4] {
+        let engine = SearchEngine::new(threads).with_partition_sharding(PartitionSharding::Always);
+        for ty in zoo() {
+            let seq = recording_number(&*ty, CAP);
+            let par = engine.recording_number(&*ty, CAP).expect("cap in range");
+            assert_eq!(
+                par.level,
+                seq.level,
+                "{} (threads={threads}): sharded recording level",
+                ty.name()
+            );
+            assert_eq!(par.capped, seq.capped);
+            if let Some(w) = &par.witness {
+                assert_eq!(check_recording(&*ty, w), Ok(true), "{}", ty.name());
+            }
+
+            let seq = discerning_number(&*ty, CAP);
+            let par = engine.discerning_number(&*ty, CAP).expect("cap in range");
+            assert_eq!(
+                par.level,
+                seq.level,
+                "{} (threads={threads}): sharded discerning level",
+                ty.name()
+            );
+            assert_eq!(par.capped, seq.capped);
+            if let Some(w) = &par.witness {
+                assert_eq!(check_discerning(&*ty, w), Ok(true), "{}", ty.name());
+            }
+        }
+    }
+}
+
+#[test]
+fn sequential_sharded_witnesses_are_canonical() {
+    // With one worker the sharded task list still visits (instance,
+    // partition) pairs in sequential order, so the returned witness must be
+    // identical to the unsharded engine's — not merely valid.
+    let base = SearchEngine::sequential().with_partition_sharding(PartitionSharding::Never);
+    let sharded = SearchEngine::sequential().with_partition_sharding(PartitionSharding::Always);
+    for ty in zoo() {
+        for n in 2..=CAP {
+            assert_eq!(
+                sharded.find_recording_witness(&*ty, n).unwrap(),
+                base.find_recording_witness(&*ty, n).unwrap(),
+                "{}: recording witness at n={n}",
+                ty.name()
+            );
+            assert_eq!(
+                sharded.find_discerning_witness(&*ty, n).unwrap(),
+                base.find_discerning_witness(&*ty, n).unwrap(),
+                "{}: discerning witness at n={n}",
+                ty.name()
+            );
+        }
     }
 }
 

@@ -316,11 +316,23 @@ impl Parser<'_> {
                     }
                     self.pos += 1;
                 }
+                Some(b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
                 Some(_) => {
-                    // Consume one UTF-8 character.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
-                        .map_err(|_| Error::new("invalid UTF-8"))?;
-                    let c = rest.chars().next().expect("nonempty");
+                    // Consume one multi-byte UTF-8 character. Validate at
+                    // most 4 bytes — validating the whole remaining input
+                    // per character would make string parsing quadratic.
+                    let chunk = &self.bytes[self.pos..(self.pos + 4).min(self.bytes.len())];
+                    let valid = match std::str::from_utf8(chunk) {
+                        Ok(s) => s,
+                        Err(e) if e.valid_up_to() > 0 => {
+                            std::str::from_utf8(&chunk[..e.valid_up_to()]).expect("valid prefix")
+                        }
+                        Err(_) => return Err(Error::new("invalid UTF-8")),
+                    };
+                    let c = valid.chars().next().expect("nonempty");
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -396,6 +408,17 @@ mod tests {
         let json = to_string(&v).unwrap();
         assert_eq!(json, "[[1,2],[3]]");
         assert_eq!(from_str::<Vec<Vec<u16>>>(&json).unwrap(), v);
+    }
+
+    #[test]
+    fn multibyte_strings_round_trip() {
+        for s in ["héllo wörld", "日本語テキスト", "mixed ascii → 𝄞 clef"] {
+            let json = to_string(&s.to_string()).unwrap();
+            assert_eq!(from_str::<String>(&json).unwrap(), s);
+        }
+        // A multi-byte character straddling the end of input leaves the
+        // string unterminated: an error, not a panic.
+        assert!(from_str::<String>("\"日").is_err());
     }
 
     #[test]
