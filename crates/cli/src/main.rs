@@ -11,6 +11,8 @@
 //!                                    recoverable consensus protocol
 //! rcn simulate-tnn <n> <n'> <inputs…> model-check the paper's §4 algorithm
 //! rcn lint [<type>…|--all]           run the static analyzer (rcn-analyze)
+//! rcn crashtest <protocol>           enumerate every crash placement within
+//!                                    a budget; shrink + replay counterexamples
 //! ```
 
 #![forbid(unsafe_code)]
@@ -23,6 +25,7 @@ use rcn_protocols::TnnRecoverable;
 use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_valency::check_consensus;
 use std::process::ExitCode;
+use std::time::Duration;
 use types::{parse_type, CATALOGUE};
 
 fn main() -> ExitCode {
@@ -56,6 +59,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("solve") => cmd_solve(&args.collect::<Vec<_>>()),
         Some("simulate-tnn") => cmd_simulate_tnn(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
+        Some("crashtest") => cmd_crashtest(&args.collect::<Vec<_>>()),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -76,6 +80,7 @@ fn print_help() {
     println!("  --cache-dir DIR                     persist analyses under DIR and reuse them on later runs");
     println!("  --no-cache                          ignore --cache-dir (search without the persistent cache)");
     println!("  --stats                             print search statistics (analyses, cache/disk hits, wall time)");
+    println!("  --timeout SECS                      wall-clock deadline; partial results are reported as ≥N lower bounds");
     println!();
     println!("  dot <type> [--self-loops]           Graphviz state machine");
     println!("  table <type>                        transition table");
@@ -83,6 +88,14 @@ fn print_help() {
     println!("  simulate-tnn <n> <n'> <input>…      model-check the §4 recoverable algorithm");
     println!("  lint [<type>…|--all] [--json]       run the static analyzer over types (and,");
     println!("       [--deny warnings]              with --all, the shipped protocols)");
+    println!("  crashtest <protocol> [--crashes K]  enumerate every crash placement within the");
+    println!("       [--depth D] [--max-states N]   budget (K crashes/process, schedules up to D");
+    println!("       [--inputs 0,1] [--shrink]      events); counterexamples are optionally");
+    println!("       [--json]                       shrunk to 1-minimal and replayed through the");
+    println!("                                      threaded runtime; exits nonzero on violation");
+    println!();
+    println!("  crashtest protocols: tas | tnn-wait-free[:n,n'] | tnn-recoverable[:n,n']");
+    println!("                       | tournament[:type]");
 }
 
 /// Prints the type catalogue with per-type readability and size columns
@@ -112,7 +125,7 @@ fn cmd_types() {
 
 /// Flags taking a value shared by the search commands (`classify`,
 /// `compare`, `witness`); `--cap` is appended where it applies.
-const SEARCH_VALUE_FLAGS: &[&str] = &["--threads", "--cache-dir"];
+const SEARCH_VALUE_FLAGS: &[&str] = &["--threads", "--cache-dir", "--timeout"];
 /// Valueless switches shared by the search commands.
 const SEARCH_SWITCH_FLAGS: &[&str] = &["--stats", "--no-cache"];
 
@@ -202,9 +215,10 @@ fn cap_from_args(parsed: &Parsed) -> Result<usize, String> {
 }
 
 /// Builds the search engine from `--threads` (default: 1 worker, i.e. the
-/// plain sequential search; 0 = one worker per core) and the persistent
-/// cache flags: `--cache-dir DIR` attaches a [`DiskCache`] rooted at
-/// `DIR`; `--no-cache` wins over it.
+/// plain sequential search; 0 = one worker per core), the persistent
+/// cache flags (`--cache-dir DIR` attaches a [`DiskCache`] rooted at
+/// `DIR`; `--no-cache` wins over it), and `--timeout SECS` (a wall-clock
+/// deadline per search call; results past it are honest lower bounds).
 fn engine_from_args(parsed: &Parsed) -> Result<SearchEngine, String> {
     let threads: usize = parsed
         .value("--threads")
@@ -217,7 +231,29 @@ fn engine_from_args(parsed: &Parsed) -> Result<SearchEngine, String> {
             engine = engine.with_disk_cache(DiskCache::new(dir));
         }
     }
+    if let Some(v) = parsed.value("--timeout") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| "timeout must be a number of seconds")?;
+        if secs <= 0.0 || !secs.is_finite() {
+            return Err("timeout must be a positive number of seconds".into());
+        }
+        engine = engine.with_timeout(Duration::from_secs_f64(secs));
+    }
     Ok(engine)
+}
+
+/// A deadline that fires mid-search leaves the reported levels honest but
+/// partial — say so where the user can see it.
+fn warn_if_timed_out(engine: &SearchEngine) {
+    let stats = engine.stats();
+    if stats.timed_out {
+        eprintln!(
+            "warning: --timeout deadline hit; levels shown as ≥N are lower bounds \
+             ({} instance(s) abandoned)",
+            stats.instances_abandoned
+        );
+    }
 }
 
 fn maybe_print_stats(parsed: &Parsed, engine: &SearchEngine) {
@@ -234,7 +270,7 @@ fn maybe_print_stats(parsed: &Parsed, engine: &SearchEngine) {
 fn cmd_classify(args: &[&str]) -> Result<(), String> {
     let parsed = parse_args(
         args,
-        &["--cap", "--threads", "--cache-dir"],
+        &["--cap", "--threads", "--cache-dir", "--timeout"],
         SEARCH_SWITCH_FLAGS,
     )?;
     let [spec] = parsed.positionals[..] else {
@@ -257,13 +293,14 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
         println!("recording witness   : {}", w.describe(&*ty));
     }
     maybe_print_stats(&parsed, &engine);
+    warn_if_timed_out(&engine);
     Ok(())
 }
 
 fn cmd_compare(args: &[&str]) -> Result<(), String> {
     let parsed = parse_args(
         args,
-        &["--cap", "--threads", "--cache-dir"],
+        &["--cap", "--threads", "--cache-dir", "--timeout"],
         SEARCH_SWITCH_FLAGS,
     )?;
     let cap = cap_from_args(&parsed)?;
@@ -280,6 +317,7 @@ fn cmd_compare(args: &[&str]) -> Result<(), String> {
     report.add_all(&types, &engine).map_err(|e| e.to_string())?;
     println!("{report}");
     maybe_print_stats(&parsed, &engine);
+    warn_if_timed_out(&engine);
     Ok(())
 }
 
@@ -301,6 +339,9 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
             .map_err(|e| e.to_string())?
         {
             Some(w) => print!("{}", explain_discerning(&*ty, &w)),
+            None if engine.stats().timed_out => {
+                println!("search timed out before finding a {n}-discerning witness — inconclusive");
+            }
             None => println!("{} is NOT {n}-discerning (no witness exists)", ty.name()),
         },
         "recording" => match engine
@@ -308,6 +349,9 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
             .map_err(|e| e.to_string())?
         {
             Some(w) => print!("{}", explain_recording(&*ty, &w)),
+            None if engine.stats().timed_out => {
+                println!("search timed out before finding a {n}-recording witness — inconclusive");
+            }
             None => println!("{} is NOT {n}-recording (no witness exists)", ty.name()),
         },
         other => {
@@ -483,6 +527,212 @@ fn cmd_lint(args: &[&str]) -> Result<(), String> {
         ))
     } else {
         Ok(())
+    }
+}
+
+/// Builds the protocol system a `crashtest` spec names. Specs mirror the
+/// type catalogue's `name[:params]` shape:
+///
+/// * `tas` — Golab's test&set consensus (the paper's motivating example);
+/// * `tnn-wait-free[:n,n']` — the wait-free `T_{n,n'}` protocol (default
+///   `2,1`, whose ⊥-divergence under a crash the explorer rediscovers);
+/// * `tnn-recoverable[:n,n']` — the paper's §4 algorithm (default `5,2`);
+/// * `tournament[:type]` — the tournament construction over a readable
+///   type (default `sticky`).
+fn build_protocol(
+    spec: &str,
+    inputs: Option<Vec<u32>>,
+) -> Result<(String, rcn_model::System), String> {
+    use rcn_protocols::{TasConsensus, TnnWaitFree, TournamentConsensus};
+
+    let (name, params) = match spec.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (spec, None),
+    };
+    let parse_pair = |params: Option<&str>, default: (usize, usize)| -> Result<_, String> {
+        let Some(p) = params else { return Ok(default) };
+        let (n, n_prime) = p
+            .split_once(',')
+            .ok_or_else(|| format!("expected `{name}:n,n'`, got `{spec}`"))?;
+        let n = n.parse().map_err(|_| "n must be a number".to_string())?;
+        let n_prime = n_prime
+            .parse()
+            .map_err(|_| "n' must be a number".to_string())?;
+        Ok((n, n_prime))
+    };
+    let inputs = inputs.unwrap_or_else(|| vec![0, 1]);
+    let label = format!("{spec} (inputs {inputs:?})");
+    let sys = match name {
+        "tas" => {
+            if params.is_some() {
+                return Err(format!("`tas` takes no parameters, got `{spec}`"));
+            }
+            TasConsensus::system(inputs)
+        }
+        "tnn-wait-free" => {
+            let (n, n_prime) = parse_pair(params, (2, 1))?;
+            TnnWaitFree::system(n, n_prime, inputs)
+        }
+        "tnn-recoverable" => {
+            let (n, n_prime) = parse_pair(params, (5, 2))?;
+            TnnRecoverable::system(n, n_prime, inputs)
+        }
+        "tournament" => {
+            let ty = parse_type(params.unwrap_or("sticky")).map_err(|e| e.to_string())?;
+            TournamentConsensus::try_new(ty, inputs).map_err(|e| e.to_string())?
+        }
+        other => {
+            return Err(format!(
+                "unknown protocol `{other}` (try tas, tnn-wait-free[:n,n'], \
+                 tnn-recoverable[:n,n'], tournament[:type])"
+            ))
+        }
+    };
+    Ok((label, sys))
+}
+
+/// Minimal JSON string escaping for the hand-rendered `--json` output.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
+    use rcn_faults::{crashtest, replay, shrink_counterexample, CrashtestConfig};
+
+    let parsed = parse_args(
+        args,
+        &["--crashes", "--depth", "--max-states", "--inputs"],
+        &["--shrink", "--json"],
+    )?;
+    let [spec] = parsed.positionals[..] else {
+        return Err(
+            "usage: rcn crashtest <protocol> [--crashes K] [--depth D] [--max-states N] \
+             [--inputs 0,1] [--shrink] [--json]"
+                .into(),
+        );
+    };
+    let mut config = CrashtestConfig::default();
+    if let Some(v) = parsed.value("--crashes") {
+        config.max_crashes = v.parse().map_err(|_| "crashes must be a number")?;
+    }
+    if let Some(v) = parsed.value("--depth") {
+        config.max_depth = v.parse().map_err(|_| "depth must be a number")?;
+        if config.max_depth == 0 {
+            return Err("depth must be at least 1".into());
+        }
+    }
+    if let Some(v) = parsed.value("--max-states") {
+        config.max_states = v.parse().map_err(|_| "max-states must be a number")?;
+        if config.max_states == 0 {
+            return Err("max-states must be at least 1".into());
+        }
+    }
+    let inputs = parsed
+        .value("--inputs")
+        .map(|v| parse_inputs_slice(&v.split(',').collect::<Vec<_>>()))
+        .transpose()?;
+    let (label, sys) = build_protocol(spec, inputs)?;
+
+    let report = crashtest(&sys, config);
+    let shrunk = report.counterexample.as_ref().map(|cex| {
+        let minimal = if parsed.has("--shrink") {
+            shrink_counterexample(&sys, cex)
+        } else {
+            cex.clone()
+        };
+        // Counterexamples are never reported on the abstract executor's
+        // word alone: the schedule must reproduce end-to-end through the
+        // threaded runtime too.
+        let replayed = replay(&sys, &minimal.schedule);
+        (minimal, replayed)
+    });
+
+    if parsed.has("--json") {
+        let mut fields = vec![
+            format!("\"protocol\": {}", json_str(spec)),
+            format!("\"crashes\": {}", config.max_crashes),
+            format!("\"depth\": {}", config.max_depth),
+            format!("\"states_visited\": {}", report.stats.states_visited),
+            format!("\"events_applied\": {}", report.stats.events_applied),
+            format!("\"exhaustive\": {}", report.stats.exhaustive()),
+            format!("\"clean\": {}", report.counterexample.is_none()),
+        ];
+        if let Some((cex, replayed)) = &shrunk {
+            fields.push(format!(
+                "\"schedule\": {}",
+                json_str(&cex.schedule.to_string())
+            ));
+            fields.push(format!(
+                "\"violation\": {}",
+                json_str(&cex.violation.to_string())
+            ));
+            if let Some(d) = &cex.divergence {
+                fields.push(format!("\"divergence\": {}", json_str(&d.to_string())));
+            }
+            fields.push(format!("\"shrunk\": {}", parsed.has("--shrink")));
+            fields.push(format!("\"replay_confirmed\": {}", replayed.confirmed()));
+        }
+        println!("{{{}}}", fields.join(", "));
+    } else {
+        println!("protocol            : {label}");
+        println!(
+            "crash budget        : ≤{} crash(es) per process, schedules ≤{} events",
+            config.max_crashes, config.max_depth
+        );
+        println!("explored            : {}", report.stats);
+        match &shrunk {
+            None => {
+                if report.is_certified_clean() {
+                    println!(
+                        "verdict             : CERTIFIED CLEAN — no crash placement within the \
+                         budget violates agreement or validity"
+                    );
+                } else {
+                    println!(
+                        "verdict             : clean within the explored bound (search was \
+                         capped, so this is NOT a certification)"
+                    );
+                }
+            }
+            Some((cex, replayed)) => {
+                let tag = if parsed.has("--shrink") {
+                    "minimal schedule"
+                } else {
+                    "schedule"
+                };
+                println!("{tag:<20}: {}", cex.schedule);
+                println!("violation           : {}", cex.violation);
+                if let Some(d) = &cex.divergence {
+                    println!("divergence          : {d}");
+                }
+                println!(
+                    "threaded replay     : {}",
+                    if replayed.confirmed() {
+                        "CONFIRMED (same outputs, same violation, faithful trace)"
+                    } else {
+                        "DID NOT CONFIRM — executor/runtime disagreement, please report"
+                    }
+                );
+            }
+        }
+    }
+    match &shrunk {
+        Some(_) => Err(format!(
+            "crashtest found a counterexample for {spec} (see above)"
+        )),
+        None => Ok(()),
     }
 }
 
@@ -698,6 +948,62 @@ mod tests {
         assert!(err.contains("1 error"), "unexpected error: {err}");
         assert!(run(&s(&["classify", &spec])).is_err());
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn crashtest_finds_the_known_counterexamples() {
+        // Broken protocols exit nonzero, in every output mode.
+        assert!(run(&s(&["crashtest", "tas"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--shrink"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--shrink", "--json"])).is_err());
+        assert!(run(&s(&["crashtest", "tnn-wait-free"])).is_err());
+        assert!(run(&s(&["crashtest", "tnn-wait-free:2,1", "--shrink"])).is_err());
+    }
+
+    #[test]
+    fn crashtest_certifies_the_correct_protocols() {
+        assert!(run(&s(&["crashtest", "tnn-recoverable:5,2"])).is_ok());
+        assert!(run(&s(&["crashtest", "tournament", "--inputs", "1,0"])).is_ok());
+        assert!(run(&s(&["crashtest", "tournament:sticky", "--json"])).is_ok());
+        // A crash budget of zero cannot break a crash-free-correct protocol.
+        assert!(run(&s(&["crashtest", "tas", "--crashes", "0"])).is_ok());
+    }
+
+    #[test]
+    fn crashtest_rejects_malformed_specs() {
+        assert!(run(&s(&["crashtest"])).is_err());
+        assert!(run(&s(&["crashtest", "warp-drive"])).is_err());
+        assert!(run(&s(&["crashtest", "tas:2,1"])).is_err());
+        assert!(run(&s(&["crashtest", "tnn-wait-free:x,y"])).is_err());
+        assert!(run(&s(&["crashtest", "tournament:warp-drive"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--depth", "0"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--max-states", "0"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--inputs", "0,7"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--crashes", "x"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--cap", "3"])).is_err());
+    }
+
+    #[test]
+    fn timeout_flag_is_honored_and_honest() {
+        // A generous deadline changes nothing.
+        assert!(run(&s(&["classify", "tas", "--timeout", "600"])).is_ok());
+        assert!(run(&s(&[
+            "witness",
+            "sticky",
+            "3",
+            "recording",
+            "--timeout=600"
+        ]))
+        .is_ok());
+        assert!(run(&s(&["compare", "tas", "--cap", "3", "--timeout", "600"])).is_ok());
+        // An absurd deadline still succeeds — partial results, nonzero only
+        // on real errors.
+        assert!(run(&s(&["classify", "tas", "--timeout", "0.000001"])).is_ok());
+        // Malformed deadlines are usage errors.
+        assert!(run(&s(&["classify", "tas", "--timeout", "0"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--timeout", "-1"])).is_err());
+        assert!(run(&s(&["classify", "tas", "--timeout", "soon"])).is_err());
+        assert!(run(&s(&["dot", "tas", "--timeout", "1"])).is_err());
     }
 
     #[test]

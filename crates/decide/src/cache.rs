@@ -28,15 +28,198 @@
 //! *wrong* analysis contents (a deliberately falsified cache) are
 //! indistinguishable from genuine ones, as with any persisted index —
 //! delete the cache directory to rebuild from scratch.
+//!
+//! Fault tolerance: every filesystem call goes through the [`CacheIo`]
+//! seam, so the workspace fail-point sweep can fail or truncate each
+//! individual read/write/rename/create_dir and prove the fallback story
+//! holds at *every* injection point. Wholesale-corrupt files are
+//! quarantined to `.bad` (evidence preserved, recompute-forever loops
+//! broken), transient write failures are retried once, and temp files get
+//! a per-call unique name so concurrent flushes in one process cannot
+//! race.
 
 use crate::engine::SearchEngine;
 use crate::reach::Analysis;
 use rcn_spec::{ObjectType, OpId, ValueId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::io;
 use std::path::{Path, PathBuf};
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
+
+/// The filesystem operations the cache performs, abstracted so tests can
+/// inject faults at every call site (see [`FaultyIo`]).
+///
+/// Implementations must be safe to share across the engine's worker
+/// threads.
+pub trait CacheIo: Send + Sync + fmt::Debug {
+    /// Reads a whole file to a string.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying filesystem (or an injected one).
+    fn read_to_string(&self, path: &Path) -> io::Result<String>;
+
+    /// Writes `data` to `path`, replacing any existing file.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying filesystem (or an injected one).
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()>;
+
+    /// Renames `from` to `to` (atomic on the same filesystem).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying filesystem (or an injected one).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Creates `path` and any missing parents.
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying filesystem (or an injected one).
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The real filesystem (the default [`CacheIo`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SystemIo;
+
+impl CacheIo for SystemIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        std::fs::write(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+}
+
+/// What an injected fault does to the targeted operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultMode {
+    /// The operation fails with an [`io::Error`] and has no effect.
+    Error,
+    /// The operation processes only half its data: a read returns the
+    /// first half of the file, a write silently persists only the first
+    /// half of its bytes (a torn write that *reports success* — the
+    /// nastiest case, caught only by the next reader's validation).
+    /// Operations with no data to halve (rename, create_dir) fail as
+    /// [`FaultMode::Error`].
+    Truncate,
+}
+
+/// A [`CacheIo`] that injects exactly one fault: the `fail_at`-th
+/// operation (0-based, counted across all four operation kinds) is hit
+/// with the configured [`FaultMode`]; every other operation passes through
+/// to the real filesystem. Sweeping `fail_at` over `0..ops_seen()` of a
+/// clean run visits every injection point the cache has — the fail-point
+/// sweep in the workspace tests proves classification survives all of
+/// them.
+#[derive(Debug)]
+pub struct FaultyIo {
+    fail_at: u64,
+    mode: FaultMode,
+    next_op: AtomicU64,
+    injected: AtomicU64,
+}
+
+impl FaultyIo {
+    /// Injects `mode` at the `fail_at`-th operation.
+    pub fn new(fail_at: u64, mode: FaultMode) -> FaultyIo {
+        FaultyIo {
+            fail_at,
+            mode,
+            next_op: AtomicU64::new(0),
+            injected: AtomicU64::new(0),
+        }
+    }
+
+    /// An io layer that never injects — used to count a run's operations
+    /// (the sweep range).
+    pub fn counting() -> FaultyIo {
+        FaultyIo::new(u64::MAX, FaultMode::Error)
+    }
+
+    /// Operations issued so far.
+    pub fn ops_seen(&self) -> u64 {
+        self.next_op.load(Ordering::Relaxed)
+    }
+
+    /// Faults actually injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected.load(Ordering::Relaxed)
+    }
+
+    /// Claims the next operation index; `true` means this operation is the
+    /// faulted one.
+    fn trip(&self) -> bool {
+        let hit = self.next_op.fetch_add(1, Ordering::Relaxed) == self.fail_at;
+        if hit {
+            self.injected.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    fn error(kind: &str) -> io::Error {
+        io::Error::other(format!("injected {kind} fault"))
+    }
+}
+
+impl CacheIo for FaultyIo {
+    fn read_to_string(&self, path: &Path) -> io::Result<String> {
+        if self.trip() {
+            return match self.mode {
+                FaultMode::Error => Err(Self::error("read")),
+                FaultMode::Truncate => {
+                    let text = std::fs::read_to_string(path)?;
+                    let mut cut = text.len() / 2;
+                    while cut > 0 && !text.is_char_boundary(cut) {
+                        cut -= 1;
+                    }
+                    Ok(text[..cut].to_string())
+                }
+            };
+        }
+        std::fs::read_to_string(path)
+    }
+
+    fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
+        if self.trip() {
+            return match self.mode {
+                FaultMode::Error => Err(Self::error("write")),
+                // Torn write: half the bytes land, success is reported.
+                FaultMode::Truncate => std::fs::write(path, &data[..data.len() / 2]),
+            };
+        }
+        std::fs::write(path, data)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        if self.trip() {
+            return Err(Self::error("rename"));
+        }
+        std::fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        if self.trip() {
+            return Err(Self::error("create_dir"));
+        }
+        std::fs::create_dir_all(path)
+    }
+}
 
 /// Version stamp written into every cache file. Bump on any change to the
 /// serialized shape of [`Analysis`] or the file layout; readers silently
@@ -123,12 +306,27 @@ struct CacheFile {
 #[derive(Debug, Clone)]
 pub struct DiskCache {
     dir: PathBuf,
+    io: Arc<dyn CacheIo>,
 }
+
+/// Makes concurrent [`DiskCache::store`] calls in one process use distinct
+/// temp paths (the process id alone is not enough once the engine flushes
+/// from several threads).
+static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
 impl DiskCache {
     /// Creates a handle on `dir` (not touched until the first write).
     pub fn new(dir: impl Into<PathBuf>) -> DiskCache {
-        DiskCache { dir: dir.into() }
+        DiskCache::with_io(dir, Arc::new(SystemIo))
+    }
+
+    /// Creates a handle on `dir` performing all filesystem operations
+    /// through `io` — the seam the fault-injection tests use.
+    pub fn with_io(dir: impl Into<PathBuf>, io: Arc<dyn CacheIo>) -> DiskCache {
+        DiskCache {
+            dir: dir.into(),
+            io,
+        }
     }
 
     /// The cache directory.
@@ -143,8 +341,19 @@ impl DiskCache {
             .join(format!("analysis-{fingerprint:016x}-n{n}.json"))
     }
 
+    /// Moves an irreparably corrupt cache file aside to `<stem>.bad`, so
+    /// the next flush writes a fresh file instead of every future run
+    /// re-parsing the same damage and recomputing forever, and the evidence
+    /// survives for inspection. Best-effort: a failed rename changes
+    /// nothing (the corrupt file keeps being skipped by `load`).
+    fn quarantine(&self, path: &Path) {
+        let _ = self.io.rename(path, &path.with_extension("bad"));
+    }
+
     /// Loads every valid level-`n` entry for the fingerprinted type.
-    /// Anything invalid — at file or entry granularity — is skipped.
+    /// Anything invalid — at file or entry granularity — is skipped; a file
+    /// that is damaged wholesale (unparseable or wrong header) is
+    /// quarantined to `.bad`.
     fn load<T: ObjectType + ?Sized>(
         &self,
         ty: &T,
@@ -152,16 +361,19 @@ impl DiskCache {
         n: usize,
     ) -> HashMap<(u16, Vec<OpId>), Arc<Analysis>> {
         let mut out = HashMap::new();
-        let Ok(text) = std::fs::read_to_string(self.file_path(fingerprint, n)) else {
+        let path = self.file_path(fingerprint, n);
+        let Ok(text) = self.io.read_to_string(&path) else {
             return out;
         };
         let Ok(file) = serde_json::from_str::<CacheFile>(&text) else {
+            self.quarantine(&path);
             return out;
         };
         if file.version != CACHE_FORMAT_VERSION
             || file.fingerprint != fingerprint
             || file.level != n as u64
         {
+            self.quarantine(&path);
             return out;
         }
         let (num_values, num_ops) = (ty.num_values(), ty.num_ops());
@@ -183,7 +395,8 @@ impl DiskCache {
 
     /// Persists level-`n` entries atomically (write temp file, rename).
     /// Returns `true` on success; IO failures are silent (the cache is
-    /// best-effort), reported only through the return value.
+    /// best-effort), reported only through the return value. Each
+    /// operation is retried once, so a transient fault costs nothing.
     fn store(
         &self,
         fingerprint: u64,
@@ -208,15 +421,27 @@ impl DiskCache {
         let Ok(json) = serde_json::to_string(&file) else {
             return false;
         };
-        if std::fs::create_dir_all(&self.dir).is_err() {
+        let retry = |op: &dyn Fn() -> io::Result<()>| op().or_else(|_| op()).is_ok();
+        if !retry(&|| self.io.create_dir_all(&self.dir)) {
             return false;
         }
         let path = self.file_path(fingerprint, n);
-        let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
-        if std::fs::write(&tmp, json).is_err() {
-            return false;
+        // Unique temp path per call: the process id distinguishes
+        // concurrent CLI invocations, the sequence number concurrent
+        // threads within one invocation (two engine threads flushing the
+        // same (fingerprint, level) used to race on one temp file).
+        let tmp = path.with_extension(format!(
+            "tmp-{}-{}",
+            std::process::id(),
+            TMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let json = json.as_bytes();
+        let ok = retry(&|| self.io.write(&tmp, json)) && retry(&|| self.io.rename(&tmp, &path));
+        if !ok {
+            // Don't leave temp litter behind a failed publish.
+            let _ = std::fs::remove_file(&tmp);
         }
-        std::fs::rename(&tmp, &path).is_ok()
+        ok
     }
 }
 
@@ -410,6 +635,123 @@ mod tests {
         std::fs::write(cache.file_path(fp, 2), b"{not json").unwrap();
         assert!(cache.load(&tas, fp, 2).is_empty());
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn wholesale_corrupt_files_are_quarantined_to_bad() {
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-cache-quarantine-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = DiskCache::new(&dir);
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = cache.file_path(fp, 2);
+        std::fs::write(&path, b"{definitely not a cache file").unwrap();
+        assert!(cache.load(&tas, fp, 2).is_empty());
+        assert!(!path.exists(), "corrupt file must be moved aside");
+        assert!(
+            path.with_extension("bad").exists(),
+            "evidence must be preserved as .bad"
+        );
+        // The slot is free again: a store publishes a fresh, loadable file.
+        let ops = vec![OpId(0), OpId(0)];
+        let analysis = Arc::new(Analysis::new(&tas, ValueId(0), &ops));
+        assert!(cache.store(fp, 2, vec![(0, ops, analysis)]));
+        assert_eq!(cache.load(&tas, fp, 2).len(), 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn concurrent_stores_to_one_slot_never_collide() {
+        // Regression: the temp path used to be `tmp-{pid}` only, so two
+        // engine threads flushing the same (fingerprint, level) raced on
+        // one temp file (one writer's rename could publish the other's
+        // half-written bytes). The per-call sequence number makes every
+        // in-flight store use a private temp path.
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-cache-concurrent-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let cache = DiskCache::new(&dir);
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        let ops = vec![OpId(0), OpId(0)];
+        let analysis = Arc::new(Analysis::new(&tas, ValueId(0), &ops));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let cache = &cache;
+                let ops = ops.clone();
+                let analysis = Arc::clone(&analysis);
+                scope.spawn(move || {
+                    for _ in 0..16 {
+                        assert!(cache.store(fp, 2, vec![(0, ops.clone(), analysis.clone())]));
+                    }
+                });
+            }
+        });
+        // Whatever store won, the published file is complete and valid.
+        assert_eq!(cache.load(&tas, fp, 2).len(), 1);
+        // No temp litter left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .filter(|name| name.contains("tmp-"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn transient_write_faults_are_retried_once() {
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-cache-retry-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        let ops = vec![OpId(0), OpId(0)];
+        let analysis = Arc::new(Analysis::new(&tas, ValueId(0), &ops));
+        // Ops of one store: create_dir (0), write (1), rename (2). Fail
+        // each of them once; the in-call retry must absorb every one.
+        for fail_at in 0..3 {
+            let io = Arc::new(FaultyIo::new(fail_at, FaultMode::Error));
+            let cache = DiskCache::with_io(&dir, io.clone() as Arc<dyn CacheIo>);
+            assert!(
+                cache.store(fp, 2, vec![(0, ops.clone(), analysis.clone())]),
+                "store must survive a transient fault at op {fail_at}"
+            );
+            assert_eq!(io.injected(), 1, "fault at op {fail_at} must fire");
+            assert_eq!(DiskCache::new(&dir).load(&tas, fp, 2).len(), 1);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+
+    #[test]
+    fn faulty_io_counts_and_injects_once() {
+        let io = FaultyIo::counting();
+        let dir = std::env::temp_dir();
+        let missing = dir.join("rcn-cache-no-such-file");
+        assert!(CacheIo::read_to_string(&io, &missing).is_err());
+        assert!(CacheIo::create_dir_all(&io, &dir).is_ok());
+        assert_eq!(io.ops_seen(), 2);
+        assert_eq!(io.injected(), 0);
+
+        let faulty = FaultyIo::new(1, FaultMode::Error);
+        assert!(CacheIo::create_dir_all(&faulty, &dir).is_ok());
+        assert!(CacheIo::create_dir_all(&faulty, &dir).is_err());
+        assert!(CacheIo::create_dir_all(&faulty, &dir).is_ok());
+        assert_eq!(faulty.injected(), 1);
     }
 
     #[test]

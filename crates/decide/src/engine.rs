@@ -71,11 +71,19 @@ pub enum SearchError {
         /// The offending level or cap.
         n: usize,
     },
+    /// An analysis task panicked (e.g. a hand-built [`ObjectType`] whose
+    /// `apply` breaks its own contract). The worker caught the unwind, the
+    /// remaining workers were cancelled cleanly, and the queue was not
+    /// wedged.
+    TaskPanicked {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
 }
 
 impl fmt::Display for SearchError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match *self {
+        match self {
             SearchError::TooManyProcesses { n, max } => {
                 write!(
                     f,
@@ -84,6 +92,9 @@ impl fmt::Display for SearchError {
             }
             SearchError::LevelTooSmall { n } => {
                 write!(f, "level {n} is below 2 (two nonempty teams are required)")
+            }
+            SearchError::TaskPanicked { message } => {
+                write!(f, "a search task panicked: {message}")
             }
         }
     }
@@ -145,6 +156,12 @@ pub struct SearchStats {
     /// Per-search durations summed across concurrent searches (total work
     /// time; ≥ `wall_time` whenever searches overlap).
     pub busy_time: Duration,
+    /// `true` if any search hit the [`SearchEngine::with_timeout`]
+    /// deadline and was cancelled cooperatively — its results are partial.
+    pub timed_out: bool,
+    /// Instances whose tasks were abandoned (not finished) when a deadline
+    /// fired. Always 0 when `timed_out` is `false`.
+    pub instances_abandoned: u64,
 }
 
 impl fmt::Display for SearchStats {
@@ -162,6 +179,13 @@ impl fmt::Display for SearchStats {
         )?;
         if self.disk_entries_written > 0 {
             write!(f, " ({} analyses persisted)", self.disk_entries_written)?;
+        }
+        if self.timed_out {
+            write!(
+                f,
+                " [TIMED OUT: {} instances abandoned]",
+                self.instances_abandoned
+            )?;
         }
         Ok(())
     }
@@ -183,6 +207,25 @@ impl Condition {
     }
 }
 
+/// What one level search produced. `timed_out` is only set when the search
+/// was cut short *without* finding a witness — a found witness is
+/// conclusive regardless of when the deadline fired.
+struct FindOutcome {
+    witness: Option<Witness>,
+    timed_out: bool,
+}
+
+/// Best-effort extraction of a panic payload for [`SearchError::TaskPanicked`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// The engine's raw observability counters (shared with the cache layer).
 #[derive(Default)]
 pub(crate) struct Counters {
@@ -193,6 +236,8 @@ pub(crate) struct Counters {
     pub(crate) partitions_tested: AtomicU64,
     pub(crate) instances_visited: AtomicU64,
     pub(crate) busy_nanos: AtomicU64,
+    pub(crate) timed_out: AtomicBool,
+    pub(crate) instances_abandoned: AtomicU64,
 }
 
 /// True-wall-time accounting: the union of in-flight search intervals.
@@ -261,6 +306,7 @@ pub struct SearchEngine {
     threads: usize,
     sharding: PartitionSharding,
     disk: Option<DiskCache>,
+    timeout: Option<Duration>,
     counters: Counters,
     wall: WallClock,
 }
@@ -278,6 +324,7 @@ impl SearchEngine {
             threads,
             sharding: PartitionSharding::default(),
             disk: None,
+            timeout: None,
             counters: Counters::default(),
             wall: WallClock::default(),
         }
@@ -305,6 +352,23 @@ impl SearchEngine {
         self
     }
 
+    /// Attaches a wall-clock deadline to every *public* search call: once
+    /// `timeout` elapses, workers stop claiming tasks and the call returns
+    /// what it has. Timed-out searches are **inconclusive, never
+    /// refutations** — a level scan that hits the deadline reports its best
+    /// confirmed level with `capped: true` (rendered as `≥N`), and
+    /// [`SearchStats::timed_out`] / [`SearchStats::instances_abandoned`]
+    /// record that (and how much of) the space went unexplored.
+    ///
+    /// The deadline covers a whole public call: for
+    /// [`classify`](Self::classify) both deciders share one deadline, not
+    /// one each.
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> SearchEngine {
+        self.timeout = Some(timeout);
+        self
+    }
+
     /// The number of worker threads searches run on.
     pub fn threads(&self) -> usize {
         self.threads
@@ -318,6 +382,11 @@ impl SearchEngine {
     /// The partition-sharding policy in effect.
     pub fn partition_sharding(&self) -> PartitionSharding {
         self.sharding
+    }
+
+    /// The per-call wall-clock deadline, if one is attached.
+    pub fn timeout(&self) -> Option<Duration> {
+        self.timeout
     }
 
     pub(crate) fn counters(&self) -> &Counters {
@@ -336,6 +405,8 @@ impl SearchEngine {
             instances_visited: self.counters.instances_visited.load(Ordering::Relaxed),
             wall_time: self.wall.total(),
             busy_time: Duration::from_nanos(self.counters.busy_nanos.load(Ordering::Relaxed)),
+            timed_out: self.counters.timed_out.load(Ordering::Relaxed),
+            instances_abandoned: self.counters.instances_abandoned.load(Ordering::Relaxed),
         }
     }
 
@@ -350,15 +421,29 @@ impl SearchEngine {
         self.counters.partitions_tested.store(0, Ordering::Relaxed);
         self.counters.instances_visited.store(0, Ordering::Relaxed);
         self.counters.busy_nanos.store(0, Ordering::Relaxed);
+        self.counters.timed_out.store(false, Ordering::Relaxed);
+        self.counters
+            .instances_abandoned
+            .store(0, Ordering::Relaxed);
         self.wall.reset();
+    }
+
+    /// The deadline for one public search call, armed at call entry.
+    fn deadline(&self) -> Option<Instant> {
+        self.timeout.map(|timeout| Instant::now() + timeout)
     }
 
     /// Searches for an `n`-recording witness (parallel equivalent of
     /// [`crate::find_recording_witness`]).
     ///
+    /// With a [`with_timeout`](Self::with_timeout) deadline attached, a
+    /// timed-out search returns `Ok(None)` with [`SearchStats::timed_out`]
+    /// set — an *inconclusive* `None`, not a refutation.
+    ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `n < 2` or `n > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `n < 2`, `n > MAX_PROCESSES`, or a search
+    /// task panicked.
     pub fn find_recording_witness<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -366,15 +451,28 @@ impl SearchEngine {
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        Ok(self.find_witness(ty, n, Condition::Recording, &store, self.threads))
+        let outcome = self.find_witness(
+            ty,
+            n,
+            Condition::Recording,
+            &store,
+            self.threads,
+            self.deadline(),
+        )?;
+        Ok(outcome.witness)
     }
 
     /// Searches for an `n`-discerning witness (parallel equivalent of
     /// [`crate::find_discerning_witness`]).
     ///
+    /// With a [`with_timeout`](Self::with_timeout) deadline attached, a
+    /// timed-out search returns `Ok(None)` with [`SearchStats::timed_out`]
+    /// set — an *inconclusive* `None`, not a refutation.
+    ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `n < 2` or `n > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `n < 2`, `n > MAX_PROCESSES`, or a search
+    /// task panicked.
     pub fn find_discerning_witness<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -382,15 +480,28 @@ impl SearchEngine {
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        Ok(self.find_witness(ty, n, Condition::Discerning, &store, self.threads))
+        let outcome = self.find_witness(
+            ty,
+            n,
+            Condition::Discerning,
+            &store,
+            self.threads,
+            self.deadline(),
+        )?;
+        Ok(outcome.witness)
     }
 
     /// Computes the recording number up to `cap` (parallel equivalent of
     /// [`crate::recording_number`]).
     ///
+    /// A [`with_timeout`](Self::with_timeout) deadline that fires mid-scan
+    /// stops the scan at the best *confirmed* level with `capped: true`
+    /// (rendered `≥N`) — never misreporting an unexplored level as refuted.
+    ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `cap < 2`, `cap > MAX_PROCESSES`, or a
+    /// search task panicked.
     pub fn recording_number<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -398,15 +509,27 @@ impl SearchEngine {
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        Ok(self.level_scan(ty, cap, Condition::Recording, &store, self.threads))
+        self.level_scan(
+            ty,
+            cap,
+            Condition::Recording,
+            &store,
+            self.threads,
+            self.deadline(),
+        )
     }
 
     /// Computes the discerning number up to `cap` (parallel equivalent of
     /// [`crate::discerning_number`]).
     ///
+    /// A [`with_timeout`](Self::with_timeout) deadline that fires mid-scan
+    /// stops the scan at the best *confirmed* level with `capped: true`
+    /// (rendered `≥N`) — never misreporting an unexplored level as refuted.
+    ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `cap < 2`, `cap > MAX_PROCESSES`, or a
+    /// search task panicked.
     pub fn discerning_number<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -414,7 +537,14 @@ impl SearchEngine {
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        Ok(self.level_scan(ty, cap, Condition::Discerning, &store, self.threads))
+        self.level_scan(
+            ty,
+            cap,
+            Condition::Discerning,
+            &store,
+            self.threads,
+            self.deadline(),
+        )
     }
 
     /// Classifies a type by running both deciders up to `cap` over a
@@ -428,7 +558,8 @@ impl SearchEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `cap < 2`, `cap > MAX_PROCESSES`, or a
+    /// search task panicked.
     pub fn classify<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -444,7 +575,8 @@ impl SearchEngine {
     ///
     /// # Errors
     ///
-    /// Returns [`SearchError`] if `cap < 2` or `cap > MAX_PROCESSES`.
+    /// Returns [`SearchError`] if `cap < 2`, `cap > MAX_PROCESSES`, or a
+    /// search task panicked.
     pub fn classify_with<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -455,8 +587,12 @@ impl SearchEngine {
         let threads = threads.max(1);
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         let readable = ty.is_readable();
-        let discerning = self.level_scan(ty, cap, Condition::Discerning, &store, threads);
-        let recording = self.level_scan(ty, cap, Condition::Recording, &store, threads);
+        // One deadline for the whole classification: both deciders share it.
+        let deadline = self.deadline();
+        let discerning =
+            self.level_scan(ty, cap, Condition::Discerning, &store, threads, deadline)?;
+        let recording =
+            self.level_scan(ty, cap, Condition::Recording, &store, threads, deadline)?;
         let consensus_number = level_to_bound(&discerning, readable);
         let recoverable_consensus_number = level_to_bound(&recording, readable);
         Ok(TypeClassification {
@@ -472,6 +608,10 @@ impl SearchEngine {
     /// Scans `n = 2..=cap`, stopping at the first refuted level — the same
     /// linear scan the sequential deciders use (both conditions are
     /// monotone in `n`).
+    ///
+    /// A deadline firing mid-scan is *inconclusive*: the best confirmed
+    /// level is reported as a lower bound (`capped: true`), never as the
+    /// exact answer.
     fn level_scan<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -479,14 +619,20 @@ impl SearchEngine {
         cond: Condition,
         store: &AnalysisStore<'_>,
         threads: usize,
-    ) -> LevelResult {
+        deadline: Option<Instant>,
+    ) -> Result<LevelResult, SearchError> {
         let mut best = LevelResult {
             level: 1,
             capped: false,
             witness: None,
         };
         for n in 2..=cap {
-            match self.find_witness(ty, n, cond, store, threads) {
+            let outcome = self.find_witness(ty, n, cond, store, threads, deadline)?;
+            if outcome.timed_out {
+                best.capped = true;
+                return Ok(best);
+            }
+            match outcome.witness {
                 Some(w) => {
                     best = LevelResult {
                         level: n,
@@ -494,10 +640,10 @@ impl SearchEngine {
                         witness: Some(w),
                     };
                 }
-                None => return best,
+                None => return Ok(best),
             }
         }
-        best
+        Ok(best)
     }
 
     /// The parallel witness search over one level: shard the task list
@@ -511,6 +657,15 @@ impl SearchEngine {
     /// its own task, so a single dominant instance is worked by several
     /// threads at once (its analysis is still computed exactly once; the
     /// memo's `OnceLock` slots make late chunks wait instead of redo).
+    ///
+    /// Every task runs inside `catch_unwind`: a panicking task (a hand-built
+    /// [`ObjectType`] breaking its contract mid-analysis) records its payload,
+    /// cancels the remaining workers through the shared stop flag, and
+    /// surfaces as [`SearchError::TaskPanicked`] — the queue is never wedged
+    /// and the engine stays usable. A `deadline` is checked at every task
+    /// claim and every 256 partitions within a chunk; when it fires, tasks
+    /// not yet finished are counted into
+    /// [`SearchStats::instances_abandoned`] by distinct instance.
     fn find_witness<T: ObjectType + Sync + ?Sized>(
         &self,
         ty: &T,
@@ -518,7 +673,8 @@ impl SearchEngine {
         cond: Condition,
         store: &AnalysisStore<'_>,
         threads: usize,
-    ) -> Option<Witness> {
+        deadline: Option<Instant>,
+    ) -> Result<FindOutcome, SearchError> {
         // Busy brackets wall (start before `enter`, measure after `exit`):
         // each wall interval nests inside its own busy interval, so the
         // interval union can never exceed the busy sum.
@@ -562,10 +718,18 @@ impl SearchEngine {
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
+        let deadline_hit = AtomicBool::new(false);
+        // One done flag per task: whatever is still unset when a deadline
+        // fires is the abandoned remainder of the space.
+        let done: Vec<AtomicBool> = tasks.iter().map(|_| AtomicBool::new(false)).collect();
+        // First panic payload wins; later ones are dropped.
+        let panicked: Mutex<Option<String>> = Mutex::new(None);
         // Earliest-(instance, partition) witness found so far, so more
         // threads or finer sharding can only improve (not degrade) how
         // canonical the returned witness is.
         let found: Mutex<Option<((usize, usize), Witness)>> = Mutex::new(None);
+
+        let past_deadline = || deadline.is_some_and(|d| Instant::now() >= d);
 
         let worker = |engine: &SearchEngine| {
             let mut local_instances = 0u64;
@@ -574,25 +738,53 @@ impl SearchEngine {
                 if stop.load(Ordering::Relaxed) {
                     break;
                 }
+                if past_deadline() {
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    stop.store(true, Ordering::Relaxed);
+                    break;
+                }
                 let t = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&(i, lo, hi)) = tasks.get(t) else {
                     break;
                 };
-                let (u, ops) = &space[i];
-                let analysis = store.get_or_compute(engine, ty, *u, ops);
-                if lo == 0 {
-                    // Count each instance once, at its first chunk.
-                    local_instances += 1;
-                }
-                for (p, (t0, t1)) in teams_of[lo..hi].iter().enumerate() {
-                    local_partitions += 1;
-                    if cond.holds(&analysis, *u, t0, t1) {
-                        let p = lo + p;
-                        let witness = Witness::new(*u, parts[p].clone(), ops.clone());
-                        let mut slot = found.lock().expect("witness slot");
-                        match &*slot {
-                            Some((best, _)) if *best <= (i, p) => {}
-                            _ => *slot = Some(((i, p), witness)),
+                // Contain panics to the task: a broken `ObjectType` must
+                // not wedge the queue or poison the engine.
+                let task = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    let (u, ops) = &space[i];
+                    let analysis = store.get_or_compute(engine, ty, *u, ops);
+                    if lo == 0 {
+                        // Count each instance once, at its first chunk.
+                        local_instances += 1;
+                    }
+                    for (p, (t0, t1)) in teams_of[lo..hi].iter().enumerate() {
+                        if local_partitions.is_multiple_of(256) && past_deadline() {
+                            deadline_hit.store(true, Ordering::Relaxed);
+                            stop.store(true, Ordering::Relaxed);
+                            return false;
+                        }
+                        local_partitions += 1;
+                        if cond.holds(&analysis, *u, t0, t1) {
+                            let p = lo + p;
+                            let witness = Witness::new(*u, parts[p].clone(), ops.clone());
+                            let mut slot = found.lock().expect("witness slot");
+                            match &*slot {
+                                Some((best, _)) if *best <= (i, p) => {}
+                                _ => *slot = Some(((i, p), witness)),
+                            }
+                            stop.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
+                    true
+                }));
+                match task {
+                    Ok(true) => done[t].store(true, Ordering::Relaxed),
+                    // Deadline fired mid-chunk: the task stays not-done.
+                    Ok(false) => break,
+                    Err(payload) => {
+                        let mut slot = panicked.lock().expect("panic slot");
+                        if slot.is_none() {
+                            *slot = Some(panic_message(payload));
                         }
                         stop.store(true, Ordering::Relaxed);
                         break;
@@ -626,8 +818,27 @@ impl SearchEngine {
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
+        if let Some(message) = panicked.into_inner().expect("panic slot") {
+            return Err(SearchError::TaskPanicked { message });
+        }
         let result = found.into_inner().expect("witness slot");
-        result.map(|(_, w)| w)
+        let witness = result.map(|(_, w)| w);
+        // A found witness is conclusive: the deadline only matters when the
+        // search was cut short still empty-handed.
+        let timed_out = witness.is_none() && deadline_hit.load(Ordering::Relaxed);
+        if timed_out {
+            self.counters.timed_out.store(true, Ordering::Relaxed);
+            let abandoned: std::collections::HashSet<usize> = tasks
+                .iter()
+                .enumerate()
+                .filter(|&(t, _)| !done[t].load(Ordering::Relaxed))
+                .map(|(_, &(i, _, _))| i)
+                .collect();
+            self.counters
+                .instances_abandoned
+                .fetch_add(abandoned.len() as u64, Ordering::Relaxed);
+        }
+        Ok(FindOutcome { witness, timed_out })
     }
 }
 
@@ -857,6 +1068,79 @@ mod tests {
             .find_recording_witness(&sticky, 3)
             .unwrap();
         assert_eq!(base, sharded);
+    }
+
+    /// A hand-built type that breaks the `ObjectType` contract by panicking
+    /// inside `apply` — the hostile input the engine must contain.
+    #[derive(Debug)]
+    struct PanicsOnApply;
+
+    impl rcn_spec::ObjectType for PanicsOnApply {
+        fn name(&self) -> String {
+            "panics-on-apply".to_string()
+        }
+        fn num_values(&self) -> usize {
+            2
+        }
+        fn num_ops(&self) -> usize {
+            2
+        }
+        fn num_responses(&self) -> usize {
+            2
+        }
+        fn apply(&self, _value: rcn_spec::ValueId, _op: rcn_spec::OpId) -> rcn_spec::Outcome {
+            panic!("contract violation in apply");
+        }
+    }
+
+    #[test]
+    fn task_panics_become_errors_not_wedged_queues() {
+        for threads in [1usize, 4] {
+            let engine = SearchEngine::new(threads);
+            let err = engine
+                .find_recording_witness(&PanicsOnApply, 2)
+                .expect_err("the panic must surface as an error");
+            assert_eq!(
+                err,
+                SearchError::TaskPanicked {
+                    message: "contract violation in apply".to_string()
+                }
+            );
+            // The engine survives its poisoned task: a well-behaved search
+            // on the same engine still works.
+            let c = engine.classify(&TestAndSet::new(), 3).unwrap();
+            assert_eq!(c.consensus_number.to_string(), "2");
+        }
+    }
+
+    #[test]
+    fn deadline_produces_honest_partial_results() {
+        let engine = SearchEngine::new(2).with_timeout(Duration::ZERO);
+        let result = engine.classify(&Tnn::new(4, 2), 5).unwrap();
+        // An already-expired deadline confirms nothing: the scan reports
+        // only a trivial lower bound, never a refuted level.
+        assert!(result.discerning.capped, "timed-out scan must be capped");
+        assert!(result.recording.capped, "timed-out scan must be capped");
+        assert_eq!(result.discerning.level, 1);
+        let stats = engine.stats();
+        assert!(stats.timed_out, "stats must disclose the timeout: {stats}");
+        assert!(
+            stats.instances_abandoned > 0,
+            "the whole space was abandoned: {stats}"
+        );
+        assert!(stats.to_string().contains("TIMED OUT"));
+    }
+
+    #[test]
+    fn generous_deadlines_change_nothing() {
+        let engine = SearchEngine::new(2).with_timeout(Duration::from_secs(600));
+        assert_eq!(engine.timeout(), Some(Duration::from_secs(600)));
+        let c = engine.classify(&TestAndSet::new(), 4).unwrap();
+        assert_eq!(c.consensus_number.to_string(), "2");
+        assert_eq!(c.recoverable_consensus_number.to_string(), "1");
+        let stats = engine.stats();
+        assert!(!stats.timed_out);
+        assert_eq!(stats.instances_abandoned, 0);
     }
 
     #[test]

@@ -48,7 +48,9 @@ pub mod synthesis;
 mod witness;
 
 pub use bitset::BitSet;
-pub use cache::{type_fingerprint, DiskCache, CACHE_FORMAT_VERSION};
+pub use cache::{
+    type_fingerprint, CacheIo, DiskCache, FaultMode, FaultyIo, SystemIo, CACHE_FORMAT_VERSION,
+};
 pub use classify::{classify, robust_level, Bound, TypeClassification};
 pub use discerning::{
     check_discerning, discerning_number, find_discerning_witness, is_n_discerning, LevelResult,

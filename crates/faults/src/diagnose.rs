@@ -1,0 +1,103 @@
+//! Post-mortem analysis of a violating schedule.
+//!
+//! A [`Violation`] says which consensus condition broke; the diagnosis adds
+//! the *pattern*: in the crash-recovery model the signature failure mode is
+//! a process that outputs, crashes, re-runs over the persistent objects and
+//! outputs something else — the divergence at the heart of Golab's T&S
+//! counterexample and of `T_{n,n'}`'s behavior past its operation budget.
+
+use rcn_model::{Execution, ProcessId, Schedule, System, Violation};
+use std::fmt;
+
+/// A process that output two different values across a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Divergence {
+    /// The diverging process.
+    pub process: ProcessId,
+    /// Its first output.
+    pub first: u32,
+    /// The later, conflicting output.
+    pub second: u32,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} diverged: output {} then {}",
+            self.process, self.first, self.second
+        )
+    }
+}
+
+/// Everything [`diagnose`] learns from replaying one schedule.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnosis {
+    /// The first violation on the schedule (initial-state outputs
+    /// included), if any.
+    pub violation: Option<Violation>,
+    /// The first same-process output divergence, if any.
+    pub divergence: Option<Divergence>,
+    /// Every output along the schedule, in order.
+    pub outputs: Vec<(ProcessId, u32)>,
+}
+
+/// Replays `schedule` through the abstract executor and reports what broke.
+pub fn diagnose(system: &System, schedule: &Schedule) -> Diagnosis {
+    let exec = Execution::record(system, schedule);
+    let violation = system
+        .check_initial_outputs(exec.initial())
+        .or_else(|| exec.first_violation());
+    let outputs = exec.outputs();
+    // First output per process: initial-state outputs are already recorded
+    // in the initial configuration's decision table.
+    let mut firsts: Vec<Option<u32>> = exec.initial().decided.clone();
+    let mut divergence = None;
+    for &(p, v) in &outputs {
+        match firsts[p.index()] {
+            Some(first) if first != v => {
+                divergence = Some(Divergence {
+                    process: p,
+                    first,
+                    second: v,
+                });
+                break;
+            }
+            Some(_) => {}
+            None => firsts[p.index()] = Some(v),
+        }
+    }
+    Diagnosis {
+        violation,
+        divergence,
+        outputs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_protocols::TasConsensus;
+
+    #[test]
+    fn golabs_schedule_is_diagnosed_as_a_divergence() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let schedule: Schedule = "p0 p0 c0 p1 p1 p0 p0 p0 p1 p1".parse().unwrap();
+        let d = diagnose(&sys, &schedule);
+        assert!(d.violation.is_some(), "Golab's schedule must violate");
+        let div = d
+            .divergence
+            .expect("p0 outputs twice with different values");
+        assert_eq!(div.process, ProcessId(0));
+        assert_ne!(div.first, div.second);
+    }
+
+    #[test]
+    fn clean_schedules_have_nothing_to_report() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let d = diagnose(&sys, &"p0 p0 p1 p1 p1".parse().unwrap());
+        assert_eq!(d.violation, None);
+        assert_eq!(d.divergence, None);
+        assert!(!d.outputs.is_empty());
+    }
+}

@@ -1,0 +1,370 @@
+//! Systematic crash-schedule exploration.
+//!
+//! The paper's adversary places crashes at arbitrary points of a schedule;
+//! `rcn-runtime`'s `CrashyAdversary` and `run_threaded` only *sample* such
+//! placements from a seeded RNG. This module enumerates them: a bounded,
+//! memoized depth-first search over the abstract executor that considers a
+//! crash of every process at every reachable configuration, up to a
+//! per-process crash budget (the paper's `E_z`-style budgets bound crashes
+//! per process, not globally) and a schedule-length cap.
+//!
+//! The search is deterministic — events are tried in a fixed order, so the
+//! first counterexample found is the same on every run — and it is
+//! exhaustive within its budget unless the state cap is hit, which the
+//! verdict reports honestly ([`ExploreStats::state_capped`]).
+
+use crate::diagnose::{diagnose, Divergence};
+use rcn_model::{Action, Configuration, Event, ProcessId, Schedule, System, Violation};
+use std::collections::HashSet;
+use std::fmt;
+
+/// Budgets for a crash-exploration run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashtestConfig {
+    /// Maximum crashes injected per process (the budget `K`): each process
+    /// may crash at most this many times along any explored schedule.
+    pub max_crashes: usize,
+    /// Maximum schedule length explored (the depth cap `D`).
+    pub max_depth: usize,
+    /// Maximum number of distinct `(configuration, crash-counts)` states
+    /// memoized before the search refuses to grow (a memory safety valve;
+    /// hitting it makes a `Clean` verdict non-exhaustive).
+    pub max_states: usize,
+}
+
+impl Default for CrashtestConfig {
+    fn default() -> Self {
+        CrashtestConfig {
+            max_crashes: 2,
+            max_depth: 16,
+            max_states: 500_000,
+        }
+    }
+}
+
+/// Observability counters of one exploration.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExploreStats {
+    /// Distinct `(configuration, crash-counts)` states visited.
+    pub states_visited: u64,
+    /// Events applied (edges traversed), counting revisits.
+    pub events_applied: u64,
+    /// `true` if some path was cut short by [`CrashtestConfig::max_depth`]
+    /// while events were still enabled. Expected for any non-trivial
+    /// protocol; the depth cap is part of the stated budget.
+    pub depth_limited: bool,
+    /// `true` if [`CrashtestConfig::max_states`] was hit: a clean verdict
+    /// then only covers the states actually visited.
+    pub state_capped: bool,
+}
+
+impl ExploreStats {
+    /// `true` if a clean verdict covers *every* schedule within the
+    /// configured budget.
+    pub fn exhaustive(&self) -> bool {
+        !self.state_capped
+    }
+}
+
+impl fmt::Display for ExploreStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} states, {} events",
+            self.states_visited, self.events_applied
+        )?;
+        if self.state_capped {
+            write!(f, " (state cap hit)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A schedule on which the system breaks a consensus condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Counterexample {
+    /// The violating schedule (the exact DFS path; see
+    /// [`crate::shrink_counterexample`] for minimization).
+    pub schedule: Schedule,
+    /// The violation the final event of the schedule triggers.
+    pub violation: Violation,
+    /// When the violating process itself had already output a different
+    /// value (the crash-divergence pattern of Golab's T&S counterexample),
+    /// the pair of conflicting outputs.
+    pub divergence: Option<Divergence>,
+}
+
+impl fmt::Display for Counterexample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}  ⇒  {}", self.schedule, self.violation)?;
+        if let Some(d) = &self.divergence {
+            write!(f, " ({d})")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of a crash exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CrashtestReport {
+    /// Exploration counters (including the honesty flags).
+    pub stats: ExploreStats,
+    /// The first counterexample found, or `None` if every explored
+    /// schedule is safe.
+    pub counterexample: Option<Counterexample>,
+}
+
+impl CrashtestReport {
+    /// `true` if no violation was found *and* the search covered the whole
+    /// budget (no state cap hit).
+    pub fn is_certified_clean(&self) -> bool {
+        self.counterexample.is_none() && self.stats.exhaustive()
+    }
+}
+
+/// The bounded, memoized DFS over crash placements.
+pub struct CrashExplorer<'s> {
+    system: &'s System,
+    config: CrashtestConfig,
+}
+
+impl<'s> CrashExplorer<'s> {
+    /// Creates an explorer for `system` with the given budgets.
+    pub fn new(system: &'s System, config: CrashtestConfig) -> Self {
+        CrashExplorer { system, config }
+    }
+
+    /// Runs the exploration: every schedule of length ≤ `max_depth` whose
+    /// per-process crash counts stay within `max_crashes`, modulo
+    /// memoization of already-seen `(configuration, crash-counts)` states.
+    ///
+    /// Deterministic: at each configuration the candidate events are tried
+    /// in a fixed order (steps of `p0..pn`, then crashes of `p0..pn`), so
+    /// the returned counterexample is the same on every run.
+    pub fn explore(&self) -> CrashtestReport {
+        let mut search = Search {
+            system: self.system,
+            budget: self.config,
+            visited: HashSet::new(),
+            path: Vec::new(),
+            stats: ExploreStats::default(),
+        };
+        let initial = self.system.initial_config();
+        // A protocol can violate before any event (conflicting or invalid
+        // initial-state outputs).
+        if let Some(violation) = self.system.check_initial_outputs(&initial) {
+            return CrashtestReport {
+                stats: search.stats,
+                counterexample: Some(self.diagnosed(Schedule::new(), violation)),
+            };
+        }
+        let crash_counts = vec![0usize; self.system.n()];
+        search
+            .visited
+            .insert((initial.clone(), crash_counts.clone()));
+        search.stats.states_visited = 1;
+        let violation = search.dfs(&initial, &crash_counts, 0);
+        CrashtestReport {
+            stats: search.stats,
+            counterexample: violation
+                .map(|v| self.diagnosed(Schedule::from_events(search.path.iter().copied()), v)),
+        }
+    }
+
+    /// Attaches the divergence diagnosis to a found violation.
+    fn diagnosed(&self, schedule: Schedule, violation: Violation) -> Counterexample {
+        let diagnosis = diagnose(self.system, &schedule);
+        Counterexample {
+            schedule,
+            violation,
+            divergence: diagnosis.divergence,
+        }
+    }
+}
+
+/// The mutable half of the DFS (split from the explorer so the recursion
+/// can borrow it all mutably at once).
+struct Search<'s> {
+    system: &'s System,
+    budget: CrashtestConfig,
+    /// Memo: states we have already explored *from* (with these budgets
+    /// spent). Crash counts are part of the key — the same configuration
+    /// reached with more remaining budget can reach strictly more.
+    visited: HashSet<(Configuration, Vec<usize>)>,
+    path: Vec<Event>,
+    stats: ExploreStats,
+}
+
+impl Search<'_> {
+    /// Explores every enabled event from `config`; on a violation, leaves
+    /// the violating schedule in `self.path` and unwinds immediately.
+    fn dfs(
+        &mut self,
+        config: &Configuration,
+        crash_counts: &[usize],
+        depth: usize,
+    ) -> Option<Violation> {
+        if depth >= self.budget.max_depth {
+            self.stats.depth_limited = true;
+            return None;
+        }
+        let n = self.system.n();
+        let candidates = (0..n)
+            .map(|i| Event::Step(ProcessId(i as u16)))
+            .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))));
+        for event in candidates {
+            let p = event.process();
+            match event {
+                // A step in an output state is a no-op; skip it.
+                Event::Step(_) => {
+                    if matches!(self.system.action_of(config, p), Action::Output(_)) {
+                        continue;
+                    }
+                }
+                Event::Crash(_) => {
+                    if crash_counts[p.index()] >= self.budget.max_crashes {
+                        continue;
+                    }
+                    // A crash of a process already in its initial state is
+                    // a no-op: the state reset changes nothing, and any
+                    // re-output it would re-check was already checked when
+                    // an earlier event recorded the conflicting value.
+                    if config.states[p.index()]
+                        == self
+                            .system
+                            .program()
+                            .initial_state(p, self.system.inputs()[p.index()])
+                    {
+                        continue;
+                    }
+                }
+            }
+            let mut next = config.clone();
+            let effect = self.system.apply(&mut next, event);
+            self.stats.events_applied += 1;
+            self.path.push(event);
+            if let Some(violation) = effect.violation {
+                return Some(violation);
+            }
+            let mut next_counts = crash_counts.to_vec();
+            if event.is_crash() {
+                next_counts[p.index()] += 1;
+            }
+            let key = (next, next_counts);
+            if !self.visited.contains(&key) {
+                if self.visited.len() >= self.budget.max_states {
+                    self.stats.state_capped = true;
+                } else {
+                    self.stats.states_visited += 1;
+                    let (next, next_counts) = (key.0.clone(), key.1.clone());
+                    self.visited.insert(key);
+                    if let Some(v) = self.dfs(&next, &next_counts, depth + 1) {
+                        return Some(v);
+                    }
+                }
+            }
+            self.path.pop();
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
+    use rcn_spec::zoo::StickyBit;
+    use std::sync::Arc;
+
+    fn explore(system: &System) -> CrashtestReport {
+        CrashExplorer::new(system, CrashtestConfig::default()).explore()
+    }
+
+    #[test]
+    fn rediscovers_golabs_tas_counterexample() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let report = explore(&sys);
+        let cex = report.counterexample.expect("T&S must break under crashes");
+        // Independently confirm the found schedule through the executor.
+        let (_, violation) = sys.run_from_start(&cex.schedule);
+        assert_eq!(violation, Some(cex.violation));
+        assert!(
+            !cex.schedule.is_crash_free(),
+            "crash-free T&S runs are safe; the violation needs a crash: {cex}"
+        );
+    }
+
+    #[test]
+    fn rediscovers_tnn_bottom_divergence() {
+        let sys = TnnWaitFree::system(2, 1, vec![0, 1]);
+        let report = explore(&sys);
+        let cex = report
+            .counterexample
+            .expect("T_{2,1} wait-free must diverge once the object saturates");
+        let (_, violation) = sys.run_from_start(&cex.schedule);
+        assert_eq!(violation, Some(cex.violation));
+    }
+
+    #[test]
+    fn certifies_tnn_recoverable_clean() {
+        let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+        let report = explore(&sys);
+        assert!(
+            report.is_certified_clean(),
+            "recoverable T_{{5,2}} must survive every budgeted crash placement: {:?}",
+            report.counterexample
+        );
+        assert!(report.stats.states_visited > 1);
+    }
+
+    #[test]
+    fn certifies_tournament_clean() {
+        let sys = TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0]).unwrap();
+        let report = explore(&sys);
+        assert!(
+            report.is_certified_clean(),
+            "tournament consensus must survive every budgeted crash placement: {:?}",
+            report.counterexample
+        );
+    }
+
+    #[test]
+    fn exploration_is_deterministic() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let first = explore(&sys);
+        for _ in 0..3 {
+            assert_eq!(explore(&sys), first);
+        }
+    }
+
+    #[test]
+    fn zero_crash_budget_finds_nothing_on_crash_safe_protocols() {
+        // T&S consensus is correct in the crash-free model; with a zero
+        // crash budget the explorer must certify it clean.
+        let sys = TasConsensus::system(vec![0, 1]);
+        let report = CrashExplorer::new(
+            &sys,
+            CrashtestConfig {
+                max_crashes: 0,
+                ..Default::default()
+            },
+        )
+        .explore();
+        assert!(report.is_certified_clean(), "{:?}", report.counterexample);
+    }
+
+    #[test]
+    fn state_cap_is_reported_honestly() {
+        let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+        let report = CrashExplorer::new(
+            &sys,
+            CrashtestConfig {
+                max_states: 10,
+                ..Default::default()
+            },
+        )
+        .explore();
+        assert!(report.stats.state_capped);
+        assert!(!report.is_certified_clean());
+    }
+}

@@ -1,0 +1,54 @@
+//! # rcn-faults — systematic fault injection for crash-recovery protocols
+//!
+//! The paper's adversary chooses *where* processes crash; correctness means
+//! surviving every choice. This crate makes that quantifier executable:
+//!
+//! * [`CrashExplorer`] — a bounded, memoized, deterministic DFS over the
+//!   abstract executor that enumerates every crash placement within a
+//!   per-process crash budget and a depth cap, instead of sampling
+//!   placements from an RNG;
+//! * [`shrink_schedule`] / [`shrink_counterexample`] — delta-debugging
+//!   reduction of a violating schedule to a 1-minimal one, so the reported
+//!   counterexample contains only necessary events;
+//! * [`replay`] — end-to-end confirmation: the shrunk schedule is
+//!   re-executed through both the abstract executor and the threaded
+//!   runtime ([`rcn_runtime::run_schedule`]) and must produce the same
+//!   outputs and the same violation on both.
+//!
+//! The CLI surface is `rcn crashtest` (see the `rcn-cli` crate), which
+//! rediscovers Golab's Test&Set counterexample and `T_{2,1}`'s
+//! ⊥-divergence from scratch, and certifies `TnnRecoverable` and the
+//! tournament protocol clean at the same budget.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rcn_faults::{crashtest, CrashtestConfig};
+//! use rcn_protocols::TasConsensus;
+//!
+//! let sys = TasConsensus::system(vec![0, 1]);
+//! let report = crashtest(&sys, CrashtestConfig::default());
+//! let cex = report.counterexample.expect("T&S breaks under crashes");
+//! assert!(!cex.schedule.is_crash_free());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diagnose;
+mod explorer;
+mod replay;
+mod shrink;
+
+pub use diagnose::{diagnose, Diagnosis, Divergence};
+pub use explorer::{Counterexample, CrashExplorer, CrashtestConfig, CrashtestReport, ExploreStats};
+pub use replay::{replay, ReplayReport};
+pub use shrink::{shrink_counterexample, shrink_schedule};
+
+use rcn_model::System;
+
+/// One-call crash exploration: runs a [`CrashExplorer`] over `system` with
+/// the given budgets.
+pub fn crashtest(system: &System, config: CrashtestConfig) -> CrashtestReport {
+    CrashExplorer::new(system, config).explore()
+}

@@ -6,7 +6,11 @@
 //!   non-volatile main memory (it survives simulated process crashes);
 //! * [`run_threaded`] — one thread per process, per-process seeded crash
 //!   injection (a crash discards the worker's volatile state, exactly the
-//!   paper's crash semantics), plus dynamic agreement/validity checking.
+//!   paper's crash semantics), plus dynamic agreement/validity checking and
+//!   a wall-clock watchdog so non-wait-free programs cannot hang a run;
+//! * [`run_schedule`] — deterministic replay of an explicit
+//!   [`Schedule`](rcn_model::Schedule) on real threads, used by the
+//!   `rcn-faults` crash explorer to confirm counterexamples end-to-end.
 //!
 //! This complements the exhaustive `rcn-valency` checker: the checker is
 //! exact but explicit-state; the runtime exercises true parallelism, large
@@ -28,6 +32,8 @@
 
 mod nvheap;
 mod runner;
+mod scheduled;
 
 pub use nvheap::NvHeap;
 pub use runner::{run_threaded, ProcessStats, RunOptions, RunReport};
+pub use scheduled::{run_schedule, ScheduleReport};

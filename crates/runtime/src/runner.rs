@@ -20,7 +20,9 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rcn_model::{Action, Event, ProcessId, Schedule, System};
 use std::fmt;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// Configuration for a threaded run.
 #[derive(Debug, Clone, Copy)]
@@ -38,6 +40,11 @@ pub struct RunOptions {
     /// Record a global linearized event trace (serializes all object
     /// accesses through one lock — for cross-validation, not throughput).
     pub record_trace: bool,
+    /// Wall-clock watchdog: abort the run (reporting
+    /// [`RunReport::timed_out`]) if it is still going after this long.
+    /// Guards against non-wait-free programs spinning forever when
+    /// `max_steps` is 0; `None` disables the watchdog entirely.
+    pub watchdog: Option<Duration>,
 }
 
 impl Default for RunOptions {
@@ -49,6 +56,7 @@ impl Default for RunOptions {
             max_steps: 100_000,
             jitter: true,
             record_trace: false,
+            watchdog: Some(Duration::from_secs(30)),
         }
     }
 }
@@ -80,6 +88,9 @@ pub struct RunReport {
     /// executor reproduces the run exactly (see the cross-validation
     /// tests).
     pub trace: Option<Schedule>,
+    /// `true` if the [`RunOptions::watchdog`] deadline fired and at least
+    /// one worker aborted before deciding.
+    pub timed_out: bool,
 }
 
 impl RunReport {
@@ -109,7 +120,11 @@ impl fmt::Display for RunReport {
             self.validity,
             self.total_steps(),
             self.total_crashes()
-        )
+        )?;
+        if self.timed_out {
+            write!(f, " (timed out)")?;
+        }
+        Ok(())
     }
 }
 
@@ -132,6 +147,8 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
         .map(|_| Mutex::new(ProcessStats::default()))
         .collect();
     let trace: Option<Mutex<Vec<Event>>> = options.record_trace.then(|| Mutex::new(Vec::new()));
+    let deadline = options.watchdog.map(|limit| Instant::now() + limit);
+    let timed_out = AtomicBool::new(false);
 
     crossbeam::scope(|scope| {
         for i in 0..system.n() {
@@ -139,6 +156,7 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
             let stats = &stats;
             let system = &system;
             let trace = trace.as_ref();
+            let timed_out = &timed_out;
             scope.spawn(move |_| {
                 run_worker(
                     system,
@@ -147,6 +165,8 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
                     options,
                     &stats[i],
                     trace,
+                    deadline,
+                    timed_out,
                 );
             });
         }
@@ -164,9 +184,11 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
         validity: decisions.iter().all(|d| system.inputs().contains(d)),
         processes,
         trace: trace.map(|t| Schedule::from_events(t.into_inner())),
+        timed_out: timed_out.load(Ordering::Relaxed),
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_worker(
     system: &System,
     heap: &NvHeap,
@@ -174,6 +196,8 @@ fn run_worker(
     options: RunOptions,
     stats: &Mutex<ProcessStats>,
     trace: Option<&Mutex<Vec<Event>>>,
+    deadline: Option<Instant>,
+    timed_out: &AtomicBool,
 ) {
     let program = system.program();
     let input = system.inputs()[pid.index()];
@@ -185,6 +209,14 @@ fn run_worker(
         if options.max_steps > 0 && steps > options.max_steps {
             // Liveness bug guard: give up rather than hang the test suite.
             break;
+        }
+        // Wall-clock watchdog: `max_steps: 0` disables the step guard, so a
+        // non-wait-free program would otherwise spin here forever.
+        if let Some(deadline) = deadline {
+            if steps.is_multiple_of(64) && Instant::now() >= deadline {
+                timed_out.store(true, Ordering::Relaxed);
+                break;
+            }
         }
         // Crash injection: lose the volatile state, keep the heap.
         if crashes < options.max_crashes && rng.gen_bool(options.crash_prob) {
@@ -267,6 +299,73 @@ mod tests {
             );
             assert!(report.is_clean_consensus(), "seed {seed}: {report}");
         }
+    }
+
+    /// A deliberately non-wait-free program: read a register forever,
+    /// never output. With `max_steps: 0` the step guard is disabled, so
+    /// only the watchdog can end the run.
+    struct Spinner;
+
+    impl rcn_model::Program for Spinner {
+        fn name(&self) -> String {
+            "spinner".into()
+        }
+
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> rcn_model::LocalState {
+            rcn_model::LocalState::word1(input)
+        }
+
+        fn action(&self, _pid: ProcessId, _state: &rcn_model::LocalState) -> Action {
+            Action::Invoke {
+                object: rcn_model::ObjectId(0),
+                op: rcn_spec::OpId(0),
+            }
+        }
+
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &rcn_model::LocalState,
+            _response: rcn_spec::Response,
+        ) -> rcn_model::LocalState {
+            state.clone()
+        }
+    }
+
+    fn spinner_system() -> System {
+        let mut layout = rcn_model::HeapLayout::new();
+        layout.add_object(
+            "r",
+            Arc::new(rcn_spec::zoo::Register::new(2)),
+            rcn_spec::ValueId(0),
+        );
+        System::new_unchecked(Arc::new(Spinner), Arc::new(layout), vec![0, 1])
+    }
+
+    #[test]
+    fn watchdog_ends_a_non_wait_free_run_instead_of_hanging() {
+        // Regression: max_steps: 0 disables the step guard, and before the
+        // watchdog existed this configuration spun forever.
+        let report = run_threaded(
+            &spinner_system(),
+            RunOptions {
+                max_steps: 0,
+                crash_prob: 0.0,
+                jitter: false,
+                watchdog: Some(Duration::from_millis(100)),
+                ..Default::default()
+            },
+        );
+        assert!(report.timed_out, "watchdog must fire: {report}");
+        assert!(!report.all_decided);
+    }
+
+    #[test]
+    fn watchdog_does_not_flag_terminating_runs() {
+        let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+        let report = run_threaded(&sys, RunOptions::default());
+        assert!(report.is_clean_consensus(), "{report}");
+        assert!(!report.timed_out);
     }
 
     #[test]

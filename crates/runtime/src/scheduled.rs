@@ -1,0 +1,237 @@
+//! Deterministic, schedule-driven threaded replay.
+//!
+//! [`run_threaded`](crate::run_threaded) explores interleavings the OS
+//! scheduler and a seeded RNG happen to produce; this module is the
+//! opposite tool: it takes an explicit [`Schedule`] — e.g. a counterexample
+//! found by the crash explorer in `rcn-faults` — and executes it on real OS
+//! threads over a real [`NvHeap`](crate::NvHeap), one thread per process,
+//! with a turn-based coordinator that hands the global next-event token to
+//! exactly the thread the schedule names. Crashes destroy the worker's
+//! volatile program state (the paper's crash semantics) while the heap
+//! persists.
+//!
+//! The point is end-to-end confirmation: a violation predicted by the
+//! abstract executor ([`System::run_from_start`]) is only believed once the
+//! very same schedule produces the very same outputs through the threaded
+//! machinery. The replay mirrors the abstract executor's output semantics
+//! exactly — an output is recorded when a step *enters* an output state, a
+//! step taken in an output state is a no-op, and a crash of a process whose
+//! initial state is an output state re-outputs on recovery.
+
+use crate::nvheap::NvHeap;
+use rcn_model::{Action, Event, ProcessId, Schedule, System, Violation};
+use std::sync::{Condvar, Mutex};
+
+/// The result of replaying a fixed schedule on real threads.
+#[derive(Debug, Clone)]
+pub struct ScheduleReport {
+    /// The events actually executed, in order. Always equals the input
+    /// schedule — recorded independently by the workers as an end-to-end
+    /// fidelity check, not assumed.
+    pub trace: Schedule,
+    /// Every output in execution order (a crashed process that re-outputs
+    /// appears more than once). Initial-state outputs are not listed here,
+    /// matching [`rcn_model::Execution::outputs`].
+    pub outputs: Vec<(ProcessId, u32)>,
+    /// The first value each process output (including initial-state
+    /// outputs).
+    pub decisions: Vec<Option<u32>>,
+    /// The first agreement/validity violation among the replayed events,
+    /// if any.
+    pub violation: Option<Violation>,
+}
+
+/// What the worker threads share, guarded by one mutex: the turn cursor
+/// plus everything the report is assembled from.
+struct Shared {
+    cursor: usize,
+    trace: Vec<Event>,
+    outputs: Vec<(ProcessId, u32)>,
+    decided: Vec<Option<u32>>,
+    violation: Option<Violation>,
+}
+
+impl Shared {
+    /// Mirrors the abstract executor's output bookkeeping: check the new
+    /// output against everything decided so far *before* recording it.
+    fn record_output(&mut self, system: &System, pid: ProcessId, v: u32) {
+        self.outputs.push((pid, v));
+        if self.violation.is_none() {
+            self.violation = check_output(system, &self.decided, pid, v);
+        }
+        if self.decided[pid.index()].is_none() {
+            self.decided[pid.index()] = Some(v);
+        }
+    }
+}
+
+/// The same agreement/validity check `System::apply` performs (kept in sync
+/// with `rcn_model::system::System::check_output`).
+fn check_output(
+    system: &System,
+    decided: &[Option<u32>],
+    p: ProcessId,
+    v: u32,
+) -> Option<Violation> {
+    if !system.is_consensus_checked() {
+        return None;
+    }
+    if !system.inputs().contains(&v) {
+        return Some(Violation::Validity {
+            process: p,
+            output: v,
+        });
+    }
+    decided
+        .iter()
+        .flatten()
+        .find(|&&earlier| earlier != v)
+        .map(|&earlier| Violation::Agreement {
+            process: p,
+            output: v,
+            earlier,
+        })
+}
+
+/// Replays `schedule` on one OS thread per process over a fresh
+/// [`NvHeap`], in exactly the scheduled order.
+///
+/// # Panics
+///
+/// Panics if the schedule names a process id `>= system.n()`.
+///
+/// # Examples
+///
+/// ```
+/// use rcn_protocols::TasConsensus;
+/// use rcn_runtime::run_schedule;
+///
+/// let sys = TasConsensus::system(vec![0, 1]);
+/// // Solo run of p0: announce, win the TAS, decide own input.
+/// let report = run_schedule(&sys, &"p0 p0".parse().unwrap());
+/// assert_eq!(report.decisions[0], Some(0));
+/// assert!(report.violation.is_none());
+/// ```
+pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
+    let n = system.n();
+    for event in schedule.iter() {
+        assert!(
+            event.process().index() < n,
+            "schedule names {} but the system has {n} processes",
+            event.process()
+        );
+    }
+    let heap = NvHeap::new(system.layout_arc());
+    let events: Vec<Event> = schedule.events().to_vec();
+
+    // Seed the decision table with initial-state outputs, like
+    // `System::initial_config` does, so re-output checks see them.
+    let initial = system.initial_config();
+    let shared = Mutex::new(Shared {
+        cursor: 0,
+        trace: Vec::with_capacity(events.len()),
+        outputs: Vec::new(),
+        decided: initial.decided.clone(),
+        violation: None,
+    });
+    let turn = Condvar::new();
+
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let pid = ProcessId(i as u16);
+            let heap = &heap;
+            let events = &events;
+            let shared = &shared;
+            let turn = &turn;
+            scope.spawn(move || {
+                let program = system.program();
+                let input = system.inputs()[pid.index()];
+                let mut state = program.initial_state(pid, input);
+                let mut guard = shared.lock().expect("replay shared state");
+                loop {
+                    while guard.cursor < events.len() && events[guard.cursor].process() != pid {
+                        guard = turn.wait(guard).expect("replay shared state");
+                    }
+                    if guard.cursor >= events.len() {
+                        return;
+                    }
+                    let event = events[guard.cursor];
+                    match event {
+                        Event::Crash(_) => {
+                            // Volatile state dies; the heap persists. A
+                            // recovery into an output state re-outputs.
+                            state = program.initial_state(pid, input);
+                            if let Action::Output(v) = program.action(pid, &state) {
+                                guard.record_output(system, pid, v);
+                            }
+                        }
+                        Event::Step(_) => match program.action(pid, &state) {
+                            Action::Output(_) => {
+                                // A step in an output state is a no-op.
+                            }
+                            Action::Invoke { object, op } => {
+                                let out = heap.apply(object, op);
+                                state = program.transition(pid, &state, out.response);
+                                if let Action::Output(v) = program.action(pid, &state) {
+                                    guard.record_output(system, pid, v);
+                                }
+                            }
+                        },
+                    }
+                    guard.trace.push(event);
+                    guard.cursor += 1;
+                    turn.notify_all();
+                }
+            });
+        }
+    });
+
+    let shared = shared.into_inner().expect("replay shared state");
+    ScheduleReport {
+        trace: Schedule::from_events(shared.trace),
+        outputs: shared.outputs,
+        decisions: shared.decided,
+        violation: shared.violation,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rcn_model::Execution;
+    use rcn_protocols::{TasConsensus, TnnRecoverable};
+
+    #[test]
+    fn golabs_schedule_reproduces_the_violation_on_threads() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let schedule: Schedule = "p0 p0 c0 p1 p1 p0 p0 p0 p1 p1".parse().unwrap();
+        let report = run_schedule(&sys, &schedule);
+        assert_eq!(report.trace, schedule, "replay must follow the schedule");
+        let (_, expected) = sys.run_from_start(&schedule);
+        assert_eq!(report.violation, expected);
+        assert!(report.violation.is_some(), "Golab's schedule must violate");
+    }
+
+    #[test]
+    fn threaded_replay_matches_the_abstract_executor() {
+        let sys = TnnRecoverable::system(5, 2, vec![1, 0]);
+        let schedule: Schedule = "p0 c0 p0 p1 p0 p1 c1 p1 p1".parse().unwrap();
+        let report = run_schedule(&sys, &schedule);
+        let exec = Execution::record(&sys, &schedule);
+        assert_eq!(report.trace, schedule);
+        assert_eq!(report.outputs, exec.outputs());
+        assert_eq!(report.violation, exec.first_violation());
+        assert_eq!(
+            report.decisions,
+            exec.final_config().decided,
+            "decisions must match the abstract final configuration"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "processes")]
+    fn out_of_range_process_ids_are_rejected() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        run_schedule(&sys, &"p7".parse().unwrap());
+    }
+}

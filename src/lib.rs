@@ -27,3 +27,4 @@
 pub use rcn_core::*;
 
 pub use rcn_analyze as analyze;
+pub use rcn_faults as faults;

@@ -1,0 +1,154 @@
+//! Replay fidelity across the protocol zoo: every schedule the crash
+//! explorer reports must mean the same thing everywhere — bit-identical
+//! outputs when the abstract executor re-runs it, and the same outputs and
+//! the same violation when the threaded runtime executes it over simulated
+//! non-volatile memory. A counterexample that only reproduces in the model
+//! that found it is not a counterexample.
+//!
+//! Also pins the two schedules the explorer *rediscovers from scratch*
+//! (Golab's test&set separation and `T_{2,1}`'s ⊥-divergence): they are
+//! deterministic, so any drift in the search order or the executor shows
+//! up here as a changed schedule.
+
+use rcn::faults::{crashtest, replay, shrink_counterexample, CrashtestConfig};
+use rcn::model::{Execution, Schedule, System};
+use rcn::protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
+use rcn::runtime::run_schedule;
+use rcn::spec::zoo::{CompareAndSwap, StickyBit};
+use std::sync::Arc;
+
+/// The protocol zoo under test: name, system, and whether the default
+/// crash budget is expected to break it.
+fn zoo() -> Vec<(&'static str, System, bool)> {
+    vec![
+        ("tas", TasConsensus::system(vec![0, 1]), true),
+        (
+            "tnn-wait-free:2,1",
+            TnnWaitFree::system(2, 1, vec![0, 1]),
+            true,
+        ),
+        (
+            "tnn-recoverable:5,2",
+            TnnRecoverable::system(5, 2, vec![0, 1]),
+            false,
+        ),
+        (
+            "tournament:sticky",
+            TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![1, 0]).unwrap(),
+            false,
+        ),
+        (
+            "tournament:cas",
+            TournamentConsensus::try_new(Arc::new(CompareAndSwap::new(3)), vec![0, 1]).unwrap(),
+            false,
+        ),
+        (
+            "tournament:sticky x3",
+            TournamentConsensus::try_new(Arc::new(StickyBit::new()), vec![0, 1, 1]).unwrap(),
+            false,
+        ),
+    ]
+}
+
+/// Abstract determinism: recording the same schedule twice is bit-identical.
+fn assert_abstract_replay_is_deterministic(sys: &System, schedule: &Schedule, ctx: &str) {
+    let a = Execution::record(sys, schedule);
+    let b = Execution::record(sys, schedule);
+    assert_eq!(a.outputs(), b.outputs(), "{ctx}: outputs drifted");
+    assert_eq!(
+        a.first_violation(),
+        b.first_violation(),
+        "{ctx}: violation drifted"
+    );
+}
+
+#[test]
+fn every_zoo_counterexample_replays_identically_through_both_executors() {
+    for (name, sys, breaks) in zoo() {
+        let report = crashtest(&sys, CrashtestConfig::default());
+        match report.counterexample {
+            Some(cex) => {
+                assert!(breaks, "{name}: unexpected counterexample: {cex}");
+                for (tag, schedule) in [
+                    ("raw", cex.schedule.clone()),
+                    ("shrunk", shrink_counterexample(&sys, &cex).schedule),
+                ] {
+                    let ctx = format!("{name} ({tag})");
+                    assert_abstract_replay_is_deterministic(&sys, &schedule, &ctx);
+                    let rep = replay(&sys, &schedule);
+                    assert!(
+                        rep.confirmed(),
+                        "{ctx}: threaded replay must confirm the violation: {rep}"
+                    );
+                }
+            }
+            None => {
+                assert!(!breaks, "{name}: expected a counterexample, found none");
+                assert!(
+                    report.is_certified_clean(),
+                    "{name}: clean but not exhaustive at the default budget: {}",
+                    report.stats
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn clean_protocol_schedules_agree_across_executors_too() {
+    // Fidelity is not only about violations: on correct protocols, crashy
+    // schedules must produce the same outputs through the threaded runtime
+    // as through the abstract executor (and no violation in either).
+    let schedules = [
+        "p0 p1 p0 p1 p0 p1 p0 p1 p0 p1 p0 p1 p0 p1",
+        "p0 c0 p0 p1 c1 p1 p0 p1 p0 p1 p0 p1 p0 p1 p0 p1",
+        "p1 p1 c1 p0 p0 c0 p0 p1 p0 p1 p0 p1 p0 p1 p0 p1",
+    ];
+    for (name, sys, breaks) in zoo() {
+        if breaks {
+            continue;
+        }
+        for text in schedules {
+            let schedule: Schedule = text.parse().unwrap();
+            let ctx = format!("{name} on `{text}`");
+            assert_abstract_replay_is_deterministic(&sys, &schedule, &ctx);
+            let exec = Execution::record(&sys, &schedule);
+            assert_eq!(exec.first_violation(), None, "{ctx}: abstract violation");
+            let threaded = run_schedule(&sys, &schedule);
+            assert_eq!(threaded.violation, None, "{ctx}: threaded violation");
+            assert_eq!(
+                exec.outputs(),
+                &threaded.outputs[..],
+                "{ctx}: executors disagree on outputs"
+            );
+            assert_eq!(threaded.trace, schedule, "{ctx}: trace must be faithful");
+        }
+    }
+}
+
+#[test]
+fn the_rediscovered_schedules_are_pinned() {
+    // Golab's separation: the explorer rediscovers a crash-then-retry
+    // schedule against test&set consensus and shrinks it to 7 events.
+    let sys = TasConsensus::system(vec![0, 1]);
+    let report = crashtest(&sys, CrashtestConfig::default());
+    let cex = report.counterexample.expect("tas breaks under one crash");
+    assert_eq!(cex.schedule.to_string(), "p0 p0 p1 p1 p1 c0 p0 p0 p0");
+    let minimal = shrink_counterexample(&sys, &cex);
+    assert_eq!(minimal.schedule.to_string(), "p0 p0 p1 c0 p0 p0 p0");
+    assert_eq!(
+        minimal.violation.to_string(),
+        "agreement violated: p0 output 1, earlier output 0"
+    );
+
+    // T_{2,1}: the ⊥-divergence needs only four events, and the raw
+    // discovery is already minimal.
+    let sys = TnnWaitFree::system(2, 1, vec![0, 1]);
+    let report = crashtest(&sys, CrashtestConfig::default());
+    let cex = report.counterexample.expect("T_{2,1} diverges after ⊥");
+    assert_eq!(cex.schedule.to_string(), "p1 p0 c0 p0");
+    let minimal = shrink_counterexample(&sys, &cex);
+    assert_eq!(minimal.schedule.to_string(), "p1 p0 c0 p0");
+    let divergence = minimal.divergence.expect("the violation is a divergence");
+    assert_eq!(divergence.to_string(), "p0 diverged: output 1 then 0");
+}
