@@ -31,8 +31,8 @@
 //!
 //! Fault tolerance: every filesystem call goes through the [`CacheIo`]
 //! seam, so the workspace fail-point sweep can fail or truncate each
-//! individual read/write/rename/create_dir and prove the fallback story
-//! holds at *every* injection point. Wholesale-corrupt files are
+//! individual read/write/rename/create_dir/remove_file and prove the
+//! fallback story holds at *every* injection point. Wholesale-corrupt files are
 //! quarantined to `.bad` (evidence preserved, recompute-forever loops
 //! broken), transient write failures are retried once, and temp files get
 //! a per-call unique name so concurrent flushes in one process cannot
@@ -82,6 +82,13 @@ pub trait CacheIo: Send + Sync + fmt::Debug {
     ///
     /// Any [`io::Error`] of the underlying filesystem (or an injected one).
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+
+    /// Removes a file (used to clean up temp files after a failed publish).
+    ///
+    /// # Errors
+    ///
+    /// Any [`io::Error`] of the underlying filesystem (or an injected one).
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
 }
 
 /// The real filesystem (the default [`CacheIo`]).
@@ -104,6 +111,10 @@ impl CacheIo for SystemIo {
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         std::fs::create_dir_all(path)
     }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
 }
 
 /// What an injected fault does to the targeted operation.
@@ -115,13 +126,13 @@ pub enum FaultMode {
     /// first half of the file, a write silently persists only the first
     /// half of its bytes (a torn write that *reports success* — the
     /// nastiest case, caught only by the next reader's validation).
-    /// Operations with no data to halve (rename, create_dir) fail as
-    /// [`FaultMode::Error`].
+    /// Operations with no data to halve (rename, create_dir, remove_file)
+    /// fail as [`FaultMode::Error`].
     Truncate,
 }
 
 /// A [`CacheIo`] that injects exactly one fault: the `fail_at`-th
-/// operation (0-based, counted across all four operation kinds) is hit
+/// operation (0-based, counted across all five operation kinds) is hit
 /// with the configured [`FaultMode`]; every other operation passes through
 /// to the real filesystem. Sweeping `fail_at` over `0..ops_seen()` of a
 /// clean run visits every injection point the cache has — the fail-point
@@ -218,6 +229,14 @@ impl CacheIo for FaultyIo {
             return Err(Self::error("create_dir"));
         }
         std::fs::create_dir_all(path)
+    }
+
+    // No data to halve: Truncate faults fail like Error, as for rename.
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        if self.trip() {
+            return Err(Self::error("remove_file"));
+        }
+        std::fs::remove_file(path)
     }
 }
 
@@ -438,8 +457,10 @@ impl DiskCache {
         let json = json.as_bytes();
         let ok = retry(&|| self.io.write(&tmp, json)) && retry(&|| self.io.rename(&tmp, &path));
         if !ok {
-            // Don't leave temp litter behind a failed publish.
-            let _ = std::fs::remove_file(&tmp);
+            // Don't leave temp litter behind a failed publish. Through the
+            // io seam like everything else, so the fail-point sweep covers
+            // it and a non-filesystem CacheIo never sees a real-disk call.
+            let _ = self.io.remove_file(&tmp);
         }
         ok
     }
@@ -735,6 +756,62 @@ mod tests {
             assert_eq!(DiskCache::new(&dir).load(&tas, fp, 2).len(), 1);
             std::fs::remove_dir_all(&dir).ok();
         }
+    }
+
+    /// A [`CacheIo`] whose writes and renames always fail, recording every
+    /// `remove_file` it receives — proves the failed-publish cleanup goes
+    /// through the io seam, so the fail-point sweep can cover it and a
+    /// non-filesystem `CacheIo` never has its temp path touched on the real
+    /// filesystem.
+    #[derive(Debug, Default)]
+    struct WritelessIo {
+        removed: Mutex<Vec<PathBuf>>,
+    }
+
+    impl CacheIo for WritelessIo {
+        fn read_to_string(&self, _path: &Path) -> io::Result<String> {
+            Err(io::Error::other("writeless"))
+        }
+
+        fn write(&self, _path: &Path, _data: &[u8]) -> io::Result<()> {
+            Err(io::Error::other("writeless"))
+        }
+
+        fn rename(&self, _from: &Path, _to: &Path) -> io::Result<()> {
+            Err(io::Error::other("writeless"))
+        }
+
+        fn create_dir_all(&self, _path: &Path) -> io::Result<()> {
+            Ok(())
+        }
+
+        fn remove_file(&self, path: &Path) -> io::Result<()> {
+            self.removed.lock().unwrap().push(path.to_path_buf());
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn failed_publish_cleanup_goes_through_the_io_seam() {
+        let io = Arc::new(WritelessIo::default());
+        let cache =
+            DiskCache::with_io("/nonexistent/rcn-seam-test", io.clone() as Arc<dyn CacheIo>);
+        let tas = TestAndSet::new();
+        let fp = type_fingerprint(&tas);
+        let ops = vec![OpId(0), OpId(0)];
+        let analysis = Arc::new(Analysis::new(&tas, ValueId(0), &ops));
+        assert!(!cache.store(fp, 2, vec![(0, ops, analysis)]));
+        let removed = io.removed.lock().unwrap();
+        assert_eq!(
+            removed.len(),
+            1,
+            "cleanup must target exactly the temp file"
+        );
+        assert!(
+            removed[0].to_string_lossy().contains("tmp-"),
+            "cleanup must target the temp path, got {:?}",
+            removed[0]
+        );
     }
 
     #[test]

@@ -156,11 +156,16 @@ pub struct SearchStats {
     /// Per-search durations summed across concurrent searches (total work
     /// time; ≥ `wall_time` whenever searches overlap).
     pub busy_time: Duration,
-    /// `true` if any search hit the [`SearchEngine::with_timeout`]
-    /// deadline and was cancelled cooperatively — its results are partial.
+    /// `true` if the *most recent* public search call hit the
+    /// [`SearchEngine::with_timeout`] deadline and was cancelled
+    /// cooperatively — its results are partial. Unlike the work counters
+    /// above, this flag (and `instances_abandoned`) is per-call, not
+    /// cumulative: each public search call clears it on entry, so a
+    /// timed-out search never taints the report of a later clean one.
     pub timed_out: bool,
     /// Instances whose tasks were abandoned (not finished) when a deadline
-    /// fired. Always 0 when `timed_out` is `false`.
+    /// fired during the most recent public search call. Always 0 when
+    /// `timed_out` is `false`.
     pub instances_abandoned: u64,
 }
 
@@ -394,7 +399,9 @@ impl SearchEngine {
     }
 
     /// Snapshot of the counters accumulated since creation (or the last
-    /// [`reset_stats`](Self::reset_stats)).
+    /// [`reset_stats`](Self::reset_stats)). Exception: the timeout fields
+    /// ([`SearchStats::timed_out`], [`SearchStats::instances_abandoned`])
+    /// describe only the most recent public search call — see their docs.
     pub fn stats(&self) -> SearchStats {
         SearchStats {
             analyses_computed: self.counters.analyses_computed.load(Ordering::Relaxed),
@@ -433,6 +440,17 @@ impl SearchEngine {
         self.timeout.map(|timeout| Instant::now() + timeout)
     }
 
+    /// Clears the per-call timeout fields at public-call entry, so
+    /// `timed_out` / `instances_abandoned` always describe the call in
+    /// progress rather than sticking from an earlier timed-out search on
+    /// the same engine.
+    fn arm_call(&self) {
+        self.counters.timed_out.store(false, Ordering::Relaxed);
+        self.counters
+            .instances_abandoned
+            .store(0, Ordering::Relaxed);
+    }
+
     /// Searches for an `n`-recording witness (parallel equivalent of
     /// [`crate::find_recording_witness`]).
     ///
@@ -450,6 +468,7 @@ impl SearchEngine {
         n: usize,
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
+        self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         let outcome = self.find_witness(
             ty,
@@ -479,6 +498,7 @@ impl SearchEngine {
         n: usize,
     ) -> Result<Option<Witness>, SearchError> {
         validate_level(n)?;
+        self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         let outcome = self.find_witness(
             ty,
@@ -508,6 +528,7 @@ impl SearchEngine {
         cap: usize,
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
+        self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         self.level_scan(
             ty,
@@ -536,6 +557,7 @@ impl SearchEngine {
         cap: usize,
     ) -> Result<LevelResult, SearchError> {
         validate_level(cap)?;
+        self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         self.level_scan(
             ty,
@@ -584,6 +606,7 @@ impl SearchEngine {
         threads: usize,
     ) -> Result<TypeClassification, SearchError> {
         validate_level(cap)?;
+        self.arm_call();
         let threads = threads.max(1);
         let store = AnalysisStore::new(ty, self.disk.as_ref());
         let readable = ty.is_readable();
@@ -1129,6 +1152,28 @@ mod tests {
             "the whole space was abandoned: {stats}"
         );
         assert!(stats.to_string().contains("TIMED OUT"));
+    }
+
+    #[test]
+    fn timeout_flags_are_per_call_not_sticky() {
+        // Regression: timed_out / instances_abandoned used to accumulate
+        // until reset_stats, so one timed-out search made every later
+        // clean call on the same engine still report a timeout.
+        let engine = SearchEngine::new(2).with_timeout(Duration::ZERO);
+        engine.classify(&Tnn::new(4, 2), 5).unwrap();
+        assert!(engine.stats().timed_out);
+        // Same counters, deadline lifted: the next call must start clean.
+        let engine = engine.with_timeout(Duration::from_secs(600));
+        let c = engine.classify(&TestAndSet::new(), 3).unwrap();
+        assert_eq!(c.consensus_number.to_string(), "2");
+        let stats = engine.stats();
+        assert!(
+            !stats.timed_out,
+            "a clean call must not inherit an earlier call's timeout: {stats}"
+        );
+        assert_eq!(stats.instances_abandoned, 0);
+        // The cumulative work counters, by contrast, do carry over.
+        assert!(stats.analyses_computed > 0);
     }
 
     #[test]

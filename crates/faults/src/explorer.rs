@@ -12,10 +12,17 @@
 //! first counterexample found is the same on every run — and it is
 //! exhaustive within its budget unless the state cap is hit, which the
 //! verdict reports honestly ([`ExploreStats::state_capped`]).
+//!
+//! Memoization is depth-aware: each `(configuration, crash-counts)` state
+//! records the largest *remaining* schedule budget it has been explored
+//! with, and is re-explored whenever it is reached with more budget left.
+//! A plain visited-set would be unsound under the depth cap — a state first
+//! reached deep (little budget left) would be skipped when reached again
+//! along a shorter prefix, pruning schedules still within `max_depth`.
 
 use crate::diagnose::{diagnose, Divergence};
 use rcn_model::{Action, Configuration, Event, ProcessId, Schedule, System, Violation};
-use std::collections::HashSet;
+use std::collections::HashMap;
 use std::fmt;
 
 /// Budgets for a crash-exploration run.
@@ -51,7 +58,9 @@ pub struct ExploreStats {
     pub events_applied: u64,
     /// `true` if some path was cut short by [`CrashtestConfig::max_depth`]
     /// while events were still enabled. Expected for any non-trivial
-    /// protocol; the depth cap is part of the stated budget.
+    /// protocol; the depth cap is part of the stated budget, and the
+    /// depth-aware memoization keeps the search exhaustive over schedules
+    /// of length ≤ `max_depth` even when this flag is set.
     pub depth_limited: bool,
     /// `true` if [`CrashtestConfig::max_states`] was hit: a clean verdict
     /// then only covers the states actually visited.
@@ -60,7 +69,10 @@ pub struct ExploreStats {
 
 impl ExploreStats {
     /// `true` if a clean verdict covers *every* schedule within the
-    /// configured budget.
+    /// configured budget. `depth_limited` does not void exhaustiveness:
+    /// the memoization is depth-aware, so every schedule of length ≤
+    /// `max_depth` is still covered. Only the state cap — which stops the
+    /// search from growing at all — makes a clean verdict partial.
     pub fn exhaustive(&self) -> bool {
         !self.state_capped
     }
@@ -145,7 +157,7 @@ impl<'s> CrashExplorer<'s> {
         let mut search = Search {
             system: self.system,
             budget: self.config,
-            visited: HashSet::new(),
+            visited: HashMap::new(),
             path: Vec::new(),
             stats: ExploreStats::default(),
         };
@@ -159,9 +171,10 @@ impl<'s> CrashExplorer<'s> {
             };
         }
         let crash_counts = vec![0usize; self.system.n()];
-        search
-            .visited
-            .insert((initial.clone(), crash_counts.clone()));
+        search.visited.insert(
+            (initial.clone(), crash_counts.clone()),
+            self.config.max_depth,
+        );
         search.stats.states_visited = 1;
         let violation = search.dfs(&initial, &crash_counts, 0);
         CrashtestReport {
@@ -187,10 +200,12 @@ impl<'s> CrashExplorer<'s> {
 struct Search<'s> {
     system: &'s System,
     budget: CrashtestConfig,
-    /// Memo: states we have already explored *from* (with these budgets
-    /// spent). Crash counts are part of the key — the same configuration
-    /// reached with more remaining budget can reach strictly more.
-    visited: HashSet<(Configuration, Vec<usize>)>,
+    /// Memo: for each state already explored *from*, the largest remaining
+    /// schedule budget (`max_depth - depth`) it was explored with. Crash
+    /// counts are part of the key, and a state reached again with *more*
+    /// remaining budget is re-explored — the same configuration with more
+    /// budget (crash or depth) left can reach strictly more.
+    visited: HashMap<(Configuration, Vec<usize>), usize>,
     path: Vec<Event>,
     stats: ExploreStats,
 }
@@ -250,17 +265,37 @@ impl Search<'_> {
             if event.is_crash() {
                 next_counts[p.index()] += 1;
             }
+            // Remaining schedule budget at the child. A state is skipped
+            // only if it was already explored with at least this much
+            // budget left — skipping on mere membership would prune
+            // in-budget schedules when a state first reached deep is
+            // reached again along a shorter prefix.
+            let remaining = self.budget.max_depth - (depth + 1);
             let key = (next, next_counts);
-            if !self.visited.contains(&key) {
-                if self.visited.len() >= self.budget.max_states {
-                    self.stats.state_capped = true;
-                } else {
-                    self.stats.states_visited += 1;
-                    let (next, next_counts) = (key.0.clone(), key.1.clone());
-                    self.visited.insert(key);
-                    if let Some(v) = self.dfs(&next, &next_counts, depth + 1) {
-                        return Some(v);
+            let explore = match self.visited.get(&key) {
+                Some(&seen) => {
+                    if seen >= remaining {
+                        false
+                    } else {
+                        self.visited.insert(key.clone(), remaining);
+                        true
                     }
+                }
+                None => {
+                    if self.visited.len() >= self.budget.max_states {
+                        self.stats.state_capped = true;
+                        false
+                    } else {
+                        self.stats.states_visited += 1;
+                        self.visited.insert(key.clone(), remaining);
+                        true
+                    }
+                }
+            };
+            if explore {
+                let (next, next_counts) = key;
+                if let Some(v) = self.dfs(&next, &next_counts, depth + 1) {
+                    return Some(v);
                 }
             }
             self.path.pop();
@@ -272,12 +307,192 @@ impl Search<'_> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rcn_model::{HeapLayout, LocalState, ObjectId, Program};
     use rcn_protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
-    use rcn_spec::zoo::StickyBit;
+    use rcn_spec::zoo::{FetchAndAdd, Register, StickyBit};
+    use rcn_spec::{OpId, Response, ValueId};
     use std::sync::Arc;
 
     fn explore(system: &System) -> CrashtestReport {
         CrashExplorer::new(system, CrashtestConfig::default()).explore()
+    }
+
+    /// A crafted program whose only in-budget violation hides behind a
+    /// state the DFS first creates at the depth frontier. `p0` increments a
+    /// fetch-and-add counter and outputs the invalid value 99 exactly when
+    /// its second step after a reset returns 3 — so the one violating
+    /// schedule of length ≤ 5 is `p0 p0 c0 p0 p0` (crash while the counter
+    /// holds 2, then two fresh steps). `p1` toggles a register, which gives
+    /// the violating post-crash state a second, *longer* route
+    /// (`p0 p0 p1 c0 p1`) that depth-first order reaches first — right at
+    /// the depth cap, with no budget left to step into the violation.
+    struct TrapProgram {
+        counter: ObjectId,
+        toggle: ObjectId,
+    }
+
+    impl Program for TrapProgram {
+        fn name(&self) -> String {
+            "memo-trap".into()
+        }
+
+        fn initial_state(&self, pid: ProcessId, _input: u32) -> LocalState {
+            if pid.index() == 0 {
+                // [steps since last reset, last response seen]
+                LocalState::word2(0, 0)
+            } else {
+                // [current register value]
+                LocalState::word1(0)
+            }
+        }
+
+        fn action(&self, pid: ProcessId, state: &LocalState) -> Action {
+            if pid.index() == 0 {
+                if state.word(0) == 2 && state.word(1) == 3 {
+                    Action::Output(99)
+                } else {
+                    Action::Invoke {
+                        object: self.counter,
+                        op: OpId::new(0), // fetch&add(1)
+                    }
+                }
+            } else {
+                Action::Invoke {
+                    object: self.toggle,
+                    op: OpId::new(1 - state.word(0) as u16), // write(1 - b)
+                }
+            }
+        }
+
+        fn transition(&self, pid: ProcessId, state: &LocalState, response: Response) -> LocalState {
+            if pid.index() == 0 {
+                LocalState::word2(state.word(0) + 1, response.index() as u32)
+            } else {
+                LocalState::word1(1 - state.word(0))
+            }
+        }
+    }
+
+    fn trap_system() -> System {
+        let mut layout = HeapLayout::new();
+        let counter = layout.add_object("F", Arc::new(FetchAndAdd::new(8)), ValueId::new(0));
+        let toggle = layout.add_object("R", Arc::new(Register::new(2)), ValueId::new(0));
+        System::new(
+            Arc::new(TrapProgram { counter, toggle }),
+            Arc::new(layout),
+            vec![0, 0],
+        )
+    }
+
+    /// Bounded DFS with *no* memoization at all: the ground truth the
+    /// memoized explorer must agree with on violation existence.
+    fn oracle_finds_violation(
+        sys: &System,
+        config: &Configuration,
+        crash_counts: &mut [usize],
+        depth: usize,
+        cfg: &CrashtestConfig,
+    ) -> bool {
+        if depth >= cfg.max_depth {
+            return false;
+        }
+        let n = sys.n();
+        let candidates = (0..n)
+            .map(|i| Event::Step(ProcessId(i as u16)))
+            .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))));
+        for event in candidates {
+            let p = event.process();
+            match event {
+                Event::Step(_) => {
+                    if matches!(sys.action_of(config, p), Action::Output(_)) {
+                        continue;
+                    }
+                }
+                Event::Crash(_) => {
+                    if crash_counts[p.index()] >= cfg.max_crashes {
+                        continue;
+                    }
+                }
+            }
+            let mut next = config.clone();
+            if sys.apply(&mut next, event).violation.is_some() {
+                return true;
+            }
+            if event.is_crash() {
+                crash_counts[p.index()] += 1;
+            }
+            let found = oracle_finds_violation(sys, &next, crash_counts, depth + 1, cfg);
+            if event.is_crash() {
+                crash_counts[p.index()] -= 1;
+            }
+            if found {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn oracle(sys: &System, cfg: &CrashtestConfig) -> bool {
+        let initial = sys.initial_config();
+        if sys.check_initial_outputs(&initial).is_some() {
+            return true;
+        }
+        let mut counts = vec![0usize; sys.n()];
+        oracle_finds_violation(sys, &initial, &mut counts, 0, cfg)
+    }
+
+    #[test]
+    fn depth_cap_memoization_is_depth_aware() {
+        // Regression: a visited-set keyed only on (configuration,
+        // crash-counts) skipped states first created at the depth frontier
+        // when they were reached again along a shorter prefix, and the trap
+        // system was wrongly certified clean at this exact budget.
+        let sys = trap_system();
+        let cfg = CrashtestConfig {
+            max_crashes: 1,
+            max_depth: 5,
+            ..Default::default()
+        };
+        let report = CrashExplorer::new(&sys, cfg).explore();
+        let cex = report
+            .counterexample
+            .expect("the depth-5 violation must be found despite the deep-first revisit");
+        assert!(!cex.schedule.is_crash_free());
+        assert!(cex.schedule.len() <= 5);
+        // The found schedule independently replays to the same violation.
+        let (_, violation) = sys.run_from_start(&cex.schedule);
+        assert_eq!(violation, Some(cex.violation));
+    }
+
+    #[test]
+    fn memoized_search_agrees_with_unmemoized_oracle() {
+        // Violation existence must match a memo-free bounded DFS across
+        // systems and tight budgets (where unsound pruning would show).
+        let systems: Vec<(&str, System)> = vec![
+            ("trap", trap_system()),
+            ("tas", TasConsensus::system(vec![0, 1])),
+            ("tnn-wait-free", TnnWaitFree::system(2, 1, vec![0, 1])),
+            ("tnn-recoverable", TnnRecoverable::system(3, 1, vec![0, 1])),
+        ];
+        for (name, sys) in &systems {
+            for (max_crashes, max_depth) in [(1, 4), (1, 5), (1, 6), (2, 6), (1, 8)] {
+                let cfg = CrashtestConfig {
+                    max_crashes,
+                    max_depth,
+                    ..Default::default()
+                };
+                let report = CrashExplorer::new(sys, cfg).explore();
+                assert!(
+                    report.stats.exhaustive(),
+                    "{name} {cfg:?} hit the state cap"
+                );
+                assert_eq!(
+                    report.counterexample.is_some(),
+                    oracle(sys, &cfg),
+                    "memoized explorer disagrees with the oracle on {name} at {cfg:?}"
+                );
+            }
+        }
     }
 
     #[test]
