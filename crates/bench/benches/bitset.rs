@@ -1,0 +1,75 @@
+//! `BitSet` micro-benchmarks — the guard for the sparse-iteration fix.
+//!
+//! `iter` used to probe all 64 bit positions of every word, zero words
+//! included, making iteration over a sparse wide set cost as much as a
+//! dense one. The trailing_zeros word-walk makes the sparse case O(words +
+//! elements); this bench keeps the dense and sparse curves visible so a
+//! regression back to per-bit probing shows up as the sparse case
+//! collapsing onto the dense one.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rcn_decide::BitSet;
+
+const CAPACITY: usize = 4096;
+
+fn set_with(density_per_word: usize) -> BitSet {
+    let mut s = BitSet::new(CAPACITY);
+    match 64usize.checked_div(density_per_word) {
+        // Density 0 means sparse: far-apart elements, most words zero.
+        None => {
+            for e in [0usize, 700, 1400, 2100, 2800, 3500, CAPACITY - 1] {
+                s.insert(e);
+            }
+        }
+        Some(step) => {
+            for w in 0..CAPACITY / 64 {
+                for b in (0..64).step_by(step) {
+                    s.insert(w * 64 + b);
+                }
+            }
+        }
+    }
+    s
+}
+
+fn iteration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_iter_4096");
+    group.sample_size(20);
+    for (label, density) in [("sparse-7", 0usize), ("half-dense", 32), ("dense", 64)] {
+        let s = set_with(density);
+        let expect = s.len();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &s, |b, s| {
+            b.iter(|| {
+                let mut count = 0usize;
+                for e in s.iter() {
+                    count += black_box(e) & 1;
+                }
+                black_box(count);
+                assert!(s.len() == expect);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn shifted_union(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bitset_union_shifted");
+    group.sample_size(20);
+    let mut src = BitSet::new(256);
+    for e in (0..256).step_by(3) {
+        src.insert(e);
+    }
+    for shift in [0usize, 7, 64, 129] {
+        group.bench_with_input(BenchmarkId::from_parameter(shift), &shift, |b, &shift| {
+            b.iter(|| {
+                let mut dst = BitSet::new(CAPACITY);
+                dst.union_shifted_with(&src, shift);
+                black_box(dst.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(bitset, iteration, shifted_union);
+criterion_main!(bitset);

@@ -1,10 +1,14 @@
 //! `repro` — regenerates every checkable artifact of *"Determining
 //! Recoverable Consensus Numbers"* (Ovens, PODC 2024).
 //!
-//! Usage: `repro [experiment-id …]` where ids are `fig3`, `lemma15`,
-//! `lemma16`, `valency`, `hierarchy`, `xn`, `tas`, `zoo`, `universal`,
-//! `readability` (default: all). See EXPERIMENTS.md for the mapping to the
-//! paper.
+//! Usage: `repro [--out PATH] [experiment-id …]` where ids are `fig3`,
+//! `lemma15`, `lemma16`, `valency`, `hierarchy`, `xn`, `tas`, `zoo`,
+//! `universal`, `readability` (default: all). See EXPERIMENTS.md for the
+//! mapping to the paper.
+//!
+//! With `--out PATH` the report is additionally written to `PATH` (the
+//! driver used to dump `repro_output.txt` into the working directory
+//! unconditionally; now nothing is written unless asked).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -21,15 +25,79 @@ use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_spec::zoo::{StickyBit, TeamCounter, Tnn};
 use rcn_spec::{ObjectType, OpId, Response};
 use rcn_valency::{check_consensus, theorem13_chain, BudgetedGraph, ConfigGraph, Valency};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Optional tee target for `--out PATH`: everything the experiments print
+/// also lands here when set.
+static OUT_FILE: OnceLock<Mutex<std::fs::File>> = OnceLock::new();
+
+/// Like `print!`, teeing into the `--out` file when one is open.
+macro_rules! out {
+    ($($arg:tt)*) => {{
+        let text = format!($($arg)*);
+        std::print!("{text}");
+        if let Some(f) = crate::OUT_FILE.get() {
+            use std::io::Write as _;
+            let _ = write!(f.lock().expect("out file"), "{text}");
+        }
+    }};
+}
+
+/// Like `println!`, teeing into the `--out` file when one is open.
+macro_rules! outln {
+    () => { outln!("") };
+    ($($arg:tt)*) => {{
+        let text = format!($($arg)*);
+        std::println!("{text}");
+        if let Some(f) = crate::OUT_FILE.get() {
+            use std::io::Write as _;
+            let _ = writeln!(f.lock().expect("out file"), "{text}");
+        }
+    }};
+}
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let all = args.is_empty();
-    let want = |id: &str| all || args.iter().any(|a| a == id);
+    let mut out_path: Option<String> = None;
+    let mut ids: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--out" {
+            let Some(path) = args.next() else {
+                eprintln!("error: missing value for `--out`");
+                std::process::exit(2);
+            };
+            out_path = Some(path);
+        } else if let Some(path) = arg.strip_prefix("--out=") {
+            out_path = Some(path.to_string());
+        } else {
+            ids.push(arg);
+        }
+    }
+    if let Some(path) = &out_path {
+        let path = std::path::Path::new(path);
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                if let Err(e) = std::fs::create_dir_all(parent) {
+                    eprintln!("error: cannot create {}: {e}", parent.display());
+                    std::process::exit(2);
+                }
+            }
+        }
+        match std::fs::File::create(path) {
+            Ok(file) => {
+                let _ = OUT_FILE.set(Mutex::new(file));
+            }
+            Err(e) => {
+                eprintln!("error: cannot open --out {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    let all = ids.is_empty();
+    let want = |id: &str| all || ids.iter().any(|a| a == id);
 
-    println!("rcn repro — Determining Recoverable Consensus Numbers (PODC 2024)");
-    println!("==================================================================");
+    outln!("rcn repro — Determining Recoverable Consensus Numbers (PODC 2024)");
+    outln!("==================================================================");
     if want("fig3") {
         e1_fig3();
     }
@@ -60,11 +128,11 @@ fn main() {
     if want("readability") {
         e10_readability();
     }
-    println!("\nall requested experiments completed");
+    outln!("\nall requested experiments completed");
 }
 
 fn banner(id: &str, what: &str) {
-    println!("\n--- {id}: {what} ---");
+    outln!("\n--- {id}: {what} ---");
 }
 
 /// E1 / Figure 3: the state machine of `T_{5,2}`, checked against the prose
@@ -108,19 +176,21 @@ fn e1_fig3() {
         assert_eq!(out.next, t.s_bottom());
         assert_eq!(out.response, t.bottom_response());
     }
-    println!("prose specification of §4: all transitions verified ✓");
-    println!("{}", to_table_text(&t));
+    outln!("prose specification of §4: all transitions verified ✓");
+    outln!("{}", to_table_text(&t));
     let dot = to_dot(&t, false);
-    println!("(DOT output: {} bytes; render with `dot -Tpng`)", dot.len());
+    outln!("(DOT output: {} bytes; render with `dot -Tpng`)", dot.len());
 }
 
 /// E2 / Lemma 15: `CN(T_{n,n'}) = n` — the decider confirms n-discerning
 /// and refutes (n+1)-discerning across a parameter sweep.
 fn e2_lemma15() {
     banner("E2 (Lemma 15)", "consensus number of T_(n,n') is n");
-    println!(
+    outln!(
         "{:<10} {:>14} {:>18}",
-        "type", "n-discerning", "(n+1)-discerning"
+        "type",
+        "n-discerning",
+        "(n+1)-discerning"
     );
     for (n, n_prime) in [
         (2, 1),
@@ -135,10 +205,10 @@ fn e2_lemma15() {
         let t = Tnn::new(n, n_prime);
         let pos = is_n_discerning(&t, n);
         let neg = is_n_discerning(&t, n + 1);
-        println!("{:<10} {:>14} {:>18}", t.name(), pos, neg);
+        outln!("{:<10} {:>14} {:>18}", t.name(), pos, neg);
         assert!(pos && !neg, "Lemma 15 shape violated for {}", t.name());
     }
-    println!("paper: n-discerning ✓, not (n+1)-discerning ✓ for every (n,n')");
+    outln!("paper: n-discerning ✓, not (n+1)-discerning ✓ for every (n,n')");
 }
 
 /// E3 / Lemma 16: `RCN(T_{n,n'}) = n'` — exhaustive model checks of the
@@ -161,7 +231,7 @@ fn e3_lemma16() {
         let r_ok = check_consensus(&sys_ok, 10_000_000).expect("state space fits");
         let sys_bad = TnnRecoverable::system(n, n_prime, mixed_inputs(n_prime + 1));
         let r_bad = check_consensus(&sys_bad, 10_000_000).expect("state space fits");
-        println!(
+        outln!(
             "T_({n},{n_prime}): @{n_prime} procs {} [{} configs] | @{} procs {}",
             if r_ok.verdict.is_correct() {
                 "correct ✓"
@@ -185,7 +255,7 @@ fn e3_lemma16() {
     let crash_free = ConfigGraph::explore_with(&sys, 10_000_000, false).expect("fits");
     let crash_free_verdict = rcn_valency::check_graph(&crash_free);
     let crashy = check_consensus(&sys, 10_000_000).expect("fits");
-    println!(
+    outln!(
         "wait-free T_(4,2) @4 procs: crash-free {} | with crashes {}",
         if crash_free_verdict.is_correct() {
             "correct ✓"
@@ -218,7 +288,7 @@ fn e3_lemma16() {
             clean += 1;
         }
     }
-    println!("threaded runs (2 threads, 25% crash prob): {clean}/30 clean ✓");
+    outln!("threaded runs (2 threads, 25% crash prob): {clean}/30 clean ✓");
     assert_eq!(clean, 30);
 }
 
@@ -250,7 +320,7 @@ fn e4_valency() {
             .enumerate()
             .filter_map(|(i, t)| t.map(|v| format!("p{i}→{v}")))
             .collect();
-        println!(
+        outln!(
             "{label}: |E_1*-states|={}, critical α = {}, teams [{}], object {}, class {}",
             graph.len(),
             info.schedule,
@@ -268,7 +338,7 @@ fn e4_valency() {
     // n-recording, so the chain has a single link and no continuation.
     let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
     let chain = theorem13_chain(&sys, 1, 6, 2_000_000).expect("chain walk succeeds");
-    println!(
+    outln!(
         "Theorem 13 chain on T_(5,2): {} link(s), reached n-recording = {} ✓",
         chain.links.len(),
         chain.reached_recording
@@ -291,14 +361,14 @@ fn e5_hierarchy() {
     report
         .add_all(&types, &engine)
         .expect("cap 4 within engine range");
-    println!("{report}");
+    outln!("{report}");
     let workers = engine.threads();
-    println!(
+    outln!(
         "search engine ({workers} thread{}): {}",
         if workers == 1 { "" } else { "s" },
         engine.stats()
     );
-    println!("(readable types: CN = discerning number, RCN = recording number, by Ruppert + Thm 13 + DFFR Thm 8)");
+    outln!("(readable types: CN = discerning number, RCN = recording number, by Ruppert + Thm 13 + DFFR Thm 8)");
 }
 
 /// E6: the `X_n` corollary — a readable type with CN n and RCN n−2.
@@ -310,7 +380,7 @@ fn e6_xn() {
     match shipped_xn(4) {
         Some(x4) => {
             let c = classify(&x4, 5);
-            println!(
+            outln!(
                 "synthesized X_4: readable={}, discerning={}, recording={}, CN={}, RCN={}",
                 x4.is_readable(),
                 c.discerning.display_level(),
@@ -320,15 +390,16 @@ fn e6_xn() {
             );
             assert_eq!(c.consensus_number, Bound::Exact(4));
             assert_eq!(c.recoverable_consensus_number, Bound::Exact(2));
-            println!("paper: CN(X_4) = 4, RCN(X_4) = 4 − 2 = 2 ✓ (synthesized reconstruction)");
+            outln!("paper: CN(X_4) = 4, RCN(X_4) = 4 − 2 = 2 ✓ (synthesized reconstruction)");
         }
-        None => println!("no X_4 table shipped (run rcn-decide's xn_hunt)"),
+        None => outln!("no X_4 table shipped (run rcn-decide's xn_hunt)"),
     }
     // The gap-1 family we can also exhibit, as context.
     let c = classify(&TeamCounter::new(4), 5);
-    println!(
+    outln!(
         "team-counter<4> (gap-1 family): CN={}, RCN={}",
-        c.consensus_number, c.recoverable_consensus_number
+        c.consensus_number,
+        c.recoverable_consensus_number
     );
 }
 
@@ -341,7 +412,7 @@ fn e7_tas() {
         "test-and-set: consensus 2, recoverable consensus 1",
     );
     let tas = rcn_spec::zoo::TestAndSet::new();
-    println!(
+    outln!(
         "decider: 2-discerning={} (⇒ CN ≥ 2), 2-recording={} (⇒ RCN < 2 by Thm 13)",
         is_n_discerning(&tas, 2),
         is_n_recording(&tas, 2)
@@ -353,14 +424,14 @@ fn e7_tas() {
         vec![Team::T0, Team::T1],
         vec![OpId::new(0), OpId::new(0)],
     );
-    print!("{}", explain_recording(&tas, &w));
-    println!();
+    out!("{}", explain_recording(&tas, &w));
+    outln!();
     let sys = TasConsensus::system(vec![0, 1]);
     let crash_free = ConfigGraph::explore_with(&sys, 1_000_000, false).expect("fits");
     let cf = rcn_valency::check_graph(&crash_free);
     let crashy = check_consensus(&sys, 1_000_000).expect("fits");
-    println!("classic T&S protocol: crash-free {cf}");
-    println!("with crashes: {}", crashy.verdict);
+    outln!("classic T&S protocol: crash-free {cf}");
+    outln!("with crashes: {}", crashy.verdict);
     assert!(cf.is_correct() && !crashy.verdict.is_correct());
 }
 
@@ -408,11 +479,11 @@ fn e8_zoo() {
             Bound::AtLeast(4),
         ),
     ];
-    println!("{:<24} {:>8} {:>8}  match", "type", "CN", "RCN");
+    outln!("{:<24} {:>8} {:>8}  match", "type", "CN", "RCN");
     for (ty, cn, rcn) in expectations {
         let c = classify(&*ty, 4);
         let ok = c.consensus_number == cn && c.recoverable_consensus_number == rcn;
-        println!(
+        outln!(
             "{:<24} {:>8} {:>8}  {}",
             c.type_name,
             c.consensus_number.to_string(),
@@ -421,8 +492,8 @@ fn e8_zoo() {
         );
         assert!(ok, "{} mismatch", c.type_name);
     }
-    println!("note: fetch-and-add and swap drop to RCN 1 — same forgetful-value");
-    println!("phenomenon as test-and-set, discovered automatically by the decider");
+    outln!("note: fetch-and-add and swap drop to RCN 1 — same forgetful-value");
+    outln!("phenomenon as test-and-set, discovered automatically by the decider");
 }
 
 /// E9: universality (§1) — the one-shot universal simulation of an
@@ -442,7 +513,7 @@ fn e9_universal() {
     ];
     let sys = UniversalSim::system(Arc::new(q.clone()), ValueId::new(0), inputs);
     let report = verify_simulation(&sys, &q, ValueId::new(0), 50_000_000).expect("fits");
-    println!(
+    outln!(
         "queue<2,3>, 3 procs (2 enq + 1 deq): {} configs, linearizable = {} ✓",
         report.configs,
         report.is_linearizable()
@@ -452,7 +523,7 @@ fn e9_universal() {
     let inputs = vec![s.push_op(1).index() as u32, s.pop_op().index() as u32];
     let sys = UniversalSim::system(Arc::new(s.clone()), ValueId::new(0), inputs);
     let report = verify_simulation(&sys, &s, ValueId::new(0), 10_000_000).expect("fits");
-    println!(
+    outln!(
         "stack<2,2>, 2 procs (push + pop): {} configs, linearizable = {} ✓",
         report.configs,
         report.is_linearizable()
@@ -473,21 +544,26 @@ fn e10_readability() {
     let aug = WithRead::new(BoundedQueue::new(2, 2));
     let c_plain = classify(&plain, 4);
     let c_aug = classify(&aug, 4);
-    println!(
+    outln!(
         "queue<2,2>       : readable={} CN={} RCN={}",
-        c_plain.readable, c_plain.consensus_number, c_plain.recoverable_consensus_number
+        c_plain.readable,
+        c_plain.consensus_number,
+        c_plain.recoverable_consensus_number
     );
-    println!(
+    outln!(
         "queue<2,2>+read  : readable={} CN={} RCN={}",
-        c_aug.readable, c_aug.consensus_number, c_aug.recoverable_consensus_number
+        c_aug.readable,
+        c_aug.consensus_number,
+        c_aug.recoverable_consensus_number
     );
     let sys =
         rcn_core::solve_recoverable(Arc::new(WithRead::new(BoundedQueue::new(2, 2))), vec![0, 1])
             .expect("augmented queue has witnesses");
     let report = check_consensus(&sys, 10_000_000).expect("fits");
-    println!(
+    outln!(
         "tournament over queue+read, 2 procs: {} ({} configs)",
-        report.verdict, report.configs
+        report.verdict,
+        report.configs
     );
     assert!(report.verdict.is_correct());
 }

@@ -20,7 +20,9 @@
 
 mod types;
 
-use rcn_decide::{explain_discerning, explain_recording, DiskCache, SearchEngine};
+use rcn_decide::{
+    explain_discerning, explain_recording, BenchRecord, BenchRecorder, DiskCache, SearchEngine,
+};
 use rcn_protocols::TnnRecoverable;
 use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_valency::check_consensus;
@@ -81,6 +83,7 @@ fn print_help() {
     println!("  --no-cache                          ignore --cache-dir (search without the persistent cache)");
     println!("  --stats                             print search statistics (analyses, cache/disk hits, wall time)");
     println!("  --timeout SECS                      wall-clock deadline; partial results are reported as ≥N lower bounds");
+    println!("  --bench-json PATH                   (classify) write a machine-readable BENCH record of the run to PATH");
     println!();
     println!("  dot <type> [--self-loops]           Graphviz state machine");
     println!("  table <type>                        transition table");
@@ -270,7 +273,13 @@ fn maybe_print_stats(parsed: &Parsed, engine: &SearchEngine) {
 fn cmd_classify(args: &[&str]) -> Result<(), String> {
     let parsed = parse_args(
         args,
-        &["--cap", "--threads", "--cache-dir", "--timeout"],
+        &[
+            "--cap",
+            "--threads",
+            "--cache-dir",
+            "--timeout",
+            "--bench-json",
+        ],
         SEARCH_SWITCH_FLAGS,
     )?;
     let [spec] = parsed.positionals[..] else {
@@ -294,6 +303,18 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
     }
     maybe_print_stats(&parsed, &engine);
     warn_if_timed_out(&engine);
+    if let Some(path) = parsed.value("--bench-json") {
+        let mut recorder = BenchRecorder::new(format!("classify_{spec}"));
+        recorder.record(BenchRecord::from_stats(
+            format!("classify/{spec}/cap={cap}"),
+            engine.threads(),
+            &engine.stats(),
+        ));
+        recorder
+            .write_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing bench json to {path}: {e}"))?;
+        println!("bench json          : {path}");
+    }
     Ok(())
 }
 
@@ -870,6 +891,22 @@ mod tests {
         assert!(run(&s(&["classify", "tas", "--cache-dir", dir, "--no-cache"])).is_ok());
         assert!(run(&s(&["witness", "sticky", "3", "--cache-dir", dir])).is_ok());
         std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn bench_json_flag_writes_a_record() {
+        let dir = std::env::temp_dir().join(format!("rcn-cli-bench-{}", std::process::id()));
+        let path = dir.join("BENCH_classify_tas.json");
+        let path_str = path.to_str().unwrap().to_string();
+        assert!(run(&s(&["classify", "tas", "--bench-json", &path_str])).is_ok());
+        let text = std::fs::read_to_string(&path).expect("bench json written");
+        assert!(text.contains("\"incremental_hits\""), "got: {text}");
+        assert!(text.contains("classify/tas/cap=4"), "got: {text}");
+        std::fs::remove_dir_all(&dir).ok();
+        // Only classify takes the flag; elsewhere it is a usage error, not
+        // silently swallowed.
+        assert!(run(&s(&["witness", "tas", "2", "--bench-json", "x.json"])).is_err());
+        assert!(run(&s(&["compare", "tas", "--bench-json", "x.json"])).is_err());
     }
 
     #[test]

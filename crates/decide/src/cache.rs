@@ -243,7 +243,12 @@ impl CacheIo for FaultyIo {
 /// Version stamp written into every cache file. Bump on any change to the
 /// serialized shape of [`Analysis`] or the file layout; readers silently
 /// ignore files with any other version.
-pub const CACHE_FORMAT_VERSION: u32 = 1;
+///
+/// History: v1 = value/pair sets only; v2 = [`Analysis`] additionally
+/// persists its `firsts` reachability labels (the seed for incremental
+/// level extension), so v1 files no longer deserialize and must be
+/// recomputed.
+pub const CACHE_FORMAT_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a content hash of a type's *semantics*: its dimensions and
 /// the full `(value, op) → (response, next)` transition table.
@@ -547,12 +552,21 @@ impl<'d> AnalysisStore<'d> {
     /// across all workers. Updates the engine's counters: a computation
     /// increments `analyses_computed`, a memo hit increments `cache_hits`
     /// or `disk_hits` depending on where the slot's contents came from.
+    ///
+    /// Computations shard their propagation over `threads` workers
+    /// ([`Analysis::with_threads`]); when the engine has incremental
+    /// seeding enabled and the instance's one-shorter prefix is already
+    /// memoized (same scan's previous level, a disk-warmed entry, or the
+    /// other decider's pass), the analysis is built by
+    /// [`Analysis::extend`] instead of from scratch — bit-identical, and
+    /// additionally counted in `incremental_hits`.
     pub(crate) fn get_or_compute<T: ObjectType + ?Sized>(
         &self,
         engine: &SearchEngine,
         ty: &T,
         u: ValueId,
         ops: &[OpId],
+        threads: usize,
     ) -> Arc<Analysis> {
         let key = (u.index() as u16, ops.to_vec());
         let (cell, origin) = {
@@ -566,9 +580,21 @@ impl<'d> AnalysisStore<'d> {
         // Initialize outside the map lock so distinct instances build in
         // parallel; OnceLock serializes same-instance workers.
         let mut computed = false;
+        let mut incremental = false;
         let analysis = cell.get_or_init(|| {
             computed = true;
-            Arc::new(Analysis::new(ty, u, ops))
+            let prefix = if engine.incremental() {
+                self.memoized_prefix(u, ops)
+            } else {
+                None
+            };
+            Arc::new(match prefix {
+                Some(p) => {
+                    incremental = true;
+                    Analysis::extend(ty, u, &p, ops, threads)
+                }
+                None => Analysis::with_threads(ty, u, ops, threads),
+            })
         });
         let counter = if computed {
             &engine.counters().analyses_computed
@@ -578,7 +604,27 @@ impl<'d> AnalysisStore<'d> {
             &engine.counters().cache_hits
         };
         counter.fetch_add(1, Ordering::Relaxed);
+        if incremental {
+            engine
+                .counters()
+                .incremental_hits
+                .fetch_add(1, Ordering::Relaxed);
+        }
         Arc::clone(analysis)
+    }
+
+    /// The already-completed analysis of `(u, ops[..len - 1])`, if any.
+    /// A sorted op multiset's prefix is itself a valid instance of the
+    /// previous level, which is what makes the lookup key meaningful.
+    /// Never blocks on an in-flight prefix computation — waiting would
+    /// serialize workers on the memo instead of accelerating them.
+    fn memoized_prefix(&self, u: ValueId, ops: &[OpId]) -> Option<Arc<Analysis>> {
+        if ops.len() < 2 {
+            return None;
+        }
+        let key = (u.index() as u16, ops[..ops.len() - 1].to_vec());
+        let memo = self.memo.lock().expect("analysis memo");
+        memo.get(&key).and_then(|slot| slot.cell.get().cloned())
     }
 
     /// Writes the level-`n` portion of the memo back to disk if the session

@@ -142,6 +142,11 @@ pub struct SearchStats {
     /// Analyses served from entries loaded out of the persistent
     /// [`DiskCache`] (0 when no cache directory is attached).
     pub disk_hits: u64,
+    /// Analyses computed incrementally by extending a memoized level-`n`
+    /// prefix analysis ([`Analysis::extend`]) instead of from scratch.
+    /// Counted *in addition to* `analyses_computed` (an extension is still
+    /// a computation).
+    pub incremental_hits: u64,
     /// Analyses newly persisted to the [`DiskCache`] (0 when no cache
     /// directory is attached).
     pub disk_entries_written: u64,
@@ -173,10 +178,11 @@ impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} analyses ({} cache hits, {} disk hits), {} partitions over {} instances in {:.3?} wall / {:.3?} busy",
+            "{} analyses ({} cache hits, {} disk hits, {} incremental), {} partitions over {} instances in {:.3?} wall / {:.3?} busy",
             self.analyses_computed,
             self.cache_hits,
             self.disk_hits,
+            self.incremental_hits,
             self.partitions_tested,
             self.instances_visited,
             self.wall_time,
@@ -237,6 +243,7 @@ pub(crate) struct Counters {
     pub(crate) analyses_computed: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
     pub(crate) disk_hits: AtomicU64,
+    pub(crate) incremental_hits: AtomicU64,
     pub(crate) disk_entries_written: AtomicU64,
     pub(crate) partitions_tested: AtomicU64,
     pub(crate) instances_visited: AtomicU64,
@@ -310,6 +317,12 @@ impl WallClock {
 pub struct SearchEngine {
     threads: usize,
     sharding: PartitionSharding,
+    /// Worker count for *intra*-analysis parallelism (0 = auto: borrow the
+    /// search workers when the instance list alone cannot saturate them).
+    analysis_threads: usize,
+    /// Whether level `n + 1` analyses may be seeded from memoized level-`n`
+    /// prefixes ([`Analysis::extend`]).
+    incremental: bool,
     disk: Option<DiskCache>,
     timeout: Option<Duration>,
     counters: Counters,
@@ -328,6 +341,8 @@ impl SearchEngine {
         SearchEngine {
             threads,
             sharding: PartitionSharding::default(),
+            analysis_threads: 0,
+            incremental: true,
             disk: None,
             timeout: None,
             counters: Counters::default(),
@@ -354,6 +369,32 @@ impl SearchEngine {
     #[must_use]
     pub fn with_partition_sharding(mut self, sharding: PartitionSharding) -> SearchEngine {
         self.sharding = sharding;
+        self
+    }
+
+    /// Sets the worker count for *intra*-analysis parallelism: each
+    /// reachability analysis shards its mask-order propagation into
+    /// popcount waves over this many threads ([`Analysis::with_threads`]).
+    /// `0` (the default) is automatic: analyses borrow the engine's search
+    /// workers exactly when the level's instance list alone cannot saturate
+    /// them (the same regime where [`PartitionSharding::Auto`] shards
+    /// partitions). Analyses are bit-identical at every setting; this is a
+    /// latency knob, not a semantic one.
+    #[must_use]
+    pub fn with_analysis_threads(mut self, threads: usize) -> SearchEngine {
+        self.analysis_threads = threads;
+        self
+    }
+
+    /// Enables or disables incremental level seeding (default: enabled).
+    /// When enabled, a level-`(n+1)` analysis whose `(initial value, op
+    /// multiset)` extends an already-memoized level-`n` instance is built
+    /// with [`Analysis::extend`] instead of from scratch — bit-identical,
+    /// counted in [`SearchStats::incremental_hits`]. Disabling is only
+    /// useful for differential testing and benchmarking.
+    #[must_use]
+    pub fn with_incremental(mut self, incremental: bool) -> SearchEngine {
+        self.incremental = incremental;
         self
     }
 
@@ -394,6 +435,16 @@ impl SearchEngine {
         self.timeout
     }
 
+    /// The configured intra-analysis worker count (0 = automatic).
+    pub fn analysis_threads(&self) -> usize {
+        self.analysis_threads
+    }
+
+    /// Whether incremental level seeding is enabled.
+    pub fn incremental(&self) -> bool {
+        self.incremental
+    }
+
     pub(crate) fn counters(&self) -> &Counters {
         &self.counters
     }
@@ -407,6 +458,7 @@ impl SearchEngine {
             analyses_computed: self.counters.analyses_computed.load(Ordering::Relaxed),
             cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
             disk_hits: self.counters.disk_hits.load(Ordering::Relaxed),
+            incremental_hits: self.counters.incremental_hits.load(Ordering::Relaxed),
             disk_entries_written: self.counters.disk_entries_written.load(Ordering::Relaxed),
             partitions_tested: self.counters.partitions_tested.load(Ordering::Relaxed),
             instances_visited: self.counters.instances_visited.load(Ordering::Relaxed),
@@ -422,6 +474,7 @@ impl SearchEngine {
         self.counters.analyses_computed.store(0, Ordering::Relaxed);
         self.counters.cache_hits.store(0, Ordering::Relaxed);
         self.counters.disk_hits.store(0, Ordering::Relaxed);
+        self.counters.incremental_hits.store(0, Ordering::Relaxed);
         self.counters
             .disk_entries_written
             .store(0, Ordering::Relaxed);
@@ -717,6 +770,16 @@ impl SearchEngine {
             .collect();
 
         let workers = threads.max(1);
+        // Intra-analysis parallelism: explicit setting wins; auto borrows
+        // the search workers exactly when the instance list is too short to
+        // keep them busy on its own (the same starvation regime partition
+        // sharding targets — there the workers pile onto few analyses, so
+        // letting each analysis use the pool shortens the critical path).
+        let analysis_threads = match self.analysis_threads {
+            0 if workers > 1 && space.len() < workers * 2 => workers,
+            0 => 1,
+            t => t,
+        };
         let chunk_count = match self.sharding {
             PartitionSharding::Never => 1,
             PartitionSharding::Always => 2.max((workers * 2).div_ceil(space.len().max(1))),
@@ -774,7 +837,7 @@ impl SearchEngine {
                 // not wedge the queue or poison the engine.
                 let task = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                     let (u, ops) = &space[i];
-                    let analysis = store.get_or_compute(engine, ty, *u, ops);
+                    let analysis = store.get_or_compute(engine, ty, *u, ops, analysis_threads);
                     if lo == 0 {
                         // Count each instance once, at its first chunk.
                         local_instances += 1;

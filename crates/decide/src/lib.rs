@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bench;
 mod bitset;
 pub mod brute;
 mod cache;
@@ -47,6 +48,7 @@ mod search;
 pub mod synthesis;
 mod witness;
 
+pub use bench::{BenchRecord, BenchRecorder};
 pub use bitset::BitSet;
 pub use cache::{
     type_fingerprint, CacheIo, DiskCache, FaultMode, FaultyIo, SystemIo, CACHE_FORMAT_VERSION,

@@ -175,6 +175,84 @@ fn damaged_cache_files_fall_back_to_full_recompute() {
     }
 }
 
+/// Rewrites each cache file into the version-1 format: version stamp 1 and
+/// no `firsts` field (v1 analyses persisted only the value/pair sets).
+fn downgrade_to_v1(text: &str) -> String {
+    let mut out = text.replacen("\"version\":2", "\"version\":1", 1);
+    while let Some(i) = out.find("\"firsts\":[") {
+        let after = i + "\"firsts\":[".len();
+        let end = after + out[after..].find(']').expect("firsts array closes");
+        // Also eat the comma separating `firsts` from the next field, so
+        // the result is exactly the old shape (valid JSON, no firsts).
+        let end = if out[end + 1..].starts_with(',') {
+            end + 1
+        } else {
+            end
+        };
+        out.replace_range(i..=end, "");
+    }
+    out
+}
+
+#[test]
+fn version_one_cache_files_fall_back_to_recompute() {
+    // Regression for the v1 → v2 wire change (Analysis now persists its
+    // `firsts` labels): a genuine old-format file — correct path, correct
+    // fingerprint, old version stamp, no `firsts` — must degrade to a
+    // silent full recompute, and the recompute must repair the cache.
+    let ty = TeamCounter::new(4);
+    let dir = scratch("v1-format");
+    let cold = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+    let reference = cold.classify(&ty, CAP).expect("cap in range");
+    let touched = damage_all(&dir, downgrade_to_v1);
+    assert!(touched > 0, "no cache files written");
+
+    let warm = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+    let again = warm.classify(&ty, CAP).expect("cap in range");
+    assert_same_classification(&reference, &again, "v1-format");
+    let stats = warm.stats();
+    assert_eq!(stats.disk_hits, 0, "stale-version entries must not hit");
+    assert!(stats.analyses_computed > 0, "must recompute, got {stats}");
+
+    let repaired = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+    let third = repaired.classify(&ty, CAP).expect("cap in range");
+    assert_same_classification(&reference, &third, "v1-format repair");
+    assert!(
+        repaired.stats().disk_hits > 0,
+        "repair run should be warm, got {}",
+        repaired.stats()
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn shape_mismatched_entries_are_skipped_individually() {
+    // Damage one entry per file (an extra element makes its `firsts`
+    // length disagree with the instance's level) while its neighbours stay
+    // valid: the warm run must skip exactly the damaged entries —
+    // recomputing them — and still serve the rest from disk.
+    let ty = TeamCounter::new(4);
+    let dir = scratch("entry-shape");
+    let cold = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+    let reference = cold.classify(&ty, CAP).expect("cap in range");
+    let touched = damage_all(&dir, |t| t.replacen("\"firsts\":[", "\"firsts\":[0,", 1));
+    assert!(touched > 0, "no cache files written");
+
+    let warm = SearchEngine::sequential().with_disk_cache(DiskCache::new(&dir));
+    let again = warm.classify(&ty, CAP).expect("cap in range");
+    assert_same_classification(&reference, &again, "entry-shape");
+    let stats = warm.stats();
+    assert!(
+        stats.disk_hits > 0,
+        "undamaged entries must still hit, got {stats}"
+    );
+    assert!(
+        stats.analyses_computed > 0,
+        "damaged entries must recompute, got {stats}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn cache_from_a_different_type_is_ignored() {
     // Cache keys are content hashes of the transition table: warming the

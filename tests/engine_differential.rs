@@ -5,13 +5,13 @@
 
 use rcn::decide::{
     check_discerning, check_recording, discerning_number, is_n_discerning, is_n_recording,
-    recording_number, PartitionSharding, SearchEngine,
+    recording_number, Analysis, PartitionSharding, SearchEngine,
 };
 use rcn::spec::zoo::{
     CompareAndSwap, ConsensusObject, FetchAndAdd, Register, StickyBit, Swap, TeamCounter,
     TestAndSet, Tnn,
 };
-use rcn::spec::ObjectType;
+use rcn::spec::{ObjectType, OpId, ValueId};
 
 const CAP: usize = 4;
 
@@ -181,6 +181,130 @@ fn sequential_sharded_witnesses_are_canonical() {
             );
             assert_eq!(
                 sharded.find_discerning_witness(&*ty, n).unwrap(),
+                base.find_discerning_witness(&*ty, n).unwrap(),
+                "{}: discerning witness at n={n}",
+                ty.name()
+            );
+        }
+    }
+}
+
+/// All non-decreasing `n`-element op sequences over `num_ops` operations —
+/// exactly the sorted multisets the search space enumerates.
+fn op_multisets(num_ops: usize, n: usize) -> Vec<Vec<OpId>> {
+    fn go(num_ops: usize, n: usize, min: usize, prefix: &mut Vec<OpId>, out: &mut Vec<Vec<OpId>>) {
+        if prefix.len() == n {
+            out.push(prefix.clone());
+            return;
+        }
+        for op in min..num_ops {
+            prefix.push(OpId::new(op as u16));
+            go(num_ops, n, op, prefix, out);
+            prefix.pop();
+        }
+    }
+    let mut out = Vec::new();
+    go(num_ops, n, 0, &mut Vec::new(), &mut out);
+    out
+}
+
+#[test]
+fn analysis_construction_paths_are_bit_identical_across_zoo() {
+    // The kernelized default, the bit-at-a-time scalar reference, the
+    // popcount-wave parallel path, and the incremental extend chain are
+    // four implementations of the same function. Sweep every instance of
+    // the zoo up to the differential cap and require full structural
+    // equality (firsts, value sets, and pair sets all compared by Eq) —
+    // not just equal verdicts downstream.
+    for ty in zoo() {
+        for n in 2..=CAP {
+            for ops in op_multisets(ty.num_ops(), n) {
+                for u in 0..ty.num_values() {
+                    let u = ValueId::new(u as u16);
+                    let kernel = Analysis::new(&*ty, u, &ops);
+                    let ctx = || format!("{} u={} ops={:?}", ty.name(), u.index(), ops);
+                    assert_eq!(kernel, Analysis::new_scalar(&*ty, u, &ops), "{}", ctx());
+                    assert_eq!(
+                        kernel,
+                        Analysis::with_threads(&*ty, u, &ops, 4),
+                        "{}",
+                        ctx()
+                    );
+                    // Chain extend from the single-process base. Every
+                    // prefix of a sorted multiset is itself a valid
+                    // smaller instance.
+                    let mut chained = Analysis::new(&*ty, u, &ops[..1]);
+                    for m in 2..=n {
+                        chained = Analysis::extend(&*ty, u, &chained, &ops[..m], 1);
+                    }
+                    assert_eq!(kernel, chained, "extend chain: {}", ctx());
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn incremental_engine_matches_from_scratch_across_zoo() {
+    // Seeding level n+1 analyses from memoized level-n prefixes must not
+    // change a single verdict. Classify the whole zoo both ways and also
+    // check the counters prove which path ran.
+    let mut total_incremental = 0;
+    for ty in zoo() {
+        let seeded = SearchEngine::sequential().with_incremental(true);
+        let scratch = SearchEngine::sequential().with_incremental(false);
+        let a = seeded.classify(&*ty, CAP).expect("cap in range");
+        let b = scratch.classify(&*ty, CAP).expect("cap in range");
+        assert_eq!(
+            a.recording.level,
+            b.recording.level,
+            "{}: recording level",
+            ty.name()
+        );
+        assert_eq!(
+            a.discerning.level,
+            b.discerning.level,
+            "{}: discerning level",
+            ty.name()
+        );
+        assert_eq!(a.consensus_number, b.consensus_number, "{}", ty.name());
+        assert_eq!(
+            a.recoverable_consensus_number,
+            b.recoverable_consensus_number,
+            "{}",
+            ty.name()
+        );
+        assert_eq!(
+            scratch.stats().incremental_hits,
+            0,
+            "{}: disabled engine must never extend",
+            ty.name()
+        );
+        total_incremental += seeded.stats().incremental_hits;
+    }
+    assert!(
+        total_incremental > 0,
+        "incremental seeding never fired across the zoo"
+    );
+}
+
+#[test]
+fn analysis_threads_do_not_change_sequential_witnesses() {
+    // Intra-analysis parallelism nests inside the search; with one search
+    // worker the visit order is unchanged, so the witnesses must be
+    // identical to the baseline engine's — not merely valid.
+    let base = SearchEngine::sequential();
+    let threaded = SearchEngine::sequential().with_analysis_threads(4);
+    for ty in zoo() {
+        for n in 2..=CAP {
+            assert_eq!(
+                threaded.find_recording_witness(&*ty, n).unwrap(),
+                base.find_recording_witness(&*ty, n).unwrap(),
+                "{}: recording witness at n={n}",
+                ty.name()
+            );
+            assert_eq!(
+                threaded.find_discerning_witness(&*ty, n).unwrap(),
                 base.find_discerning_witness(&*ty, n).unwrap(),
                 "{}: discerning witness at n={n}",
                 ty.name()

@@ -166,6 +166,31 @@ proptest! {
         prop_assert_eq!(&t, &t2);
     }
 
+    /// Kernelized, scalar, parallel, and incremental `Analysis`
+    /// construction agree bit-for-bit on random readable tables, not just
+    /// on the curated zoo.
+    #[test]
+    fn analysis_paths_agree_on_random_tables(
+        seed in 0u64..200,
+        raw_ops in prop::collection::vec(0u16..3, 2..5),
+        u in 0u16..4,
+    ) {
+        let mut rng = synthesis::rng(seed);
+        // 4 values, 2 mutators + 1 read => op ids 0..3, value ids 0..4.
+        let t = synthesis::random_readable_table(&mut rng, 4, 2);
+        let mut ops: Vec<OpId> = raw_ops.into_iter().map(OpId::new).collect();
+        ops.sort();
+        let u = ValueId::new(u);
+        let kernel = Analysis::new(&t, u, &ops);
+        prop_assert_eq!(&kernel, &Analysis::new_scalar(&t, u, &ops));
+        prop_assert_eq!(&kernel, &Analysis::with_threads(&t, u, &ops, 3));
+        let mut chained = Analysis::new(&t, u, &ops[..1]);
+        for m in 2..=ops.len() {
+            chained = Analysis::extend(&t, u, &chained, &ops[..m], 2);
+        }
+        prop_assert_eq!(&kernel, &chained);
+    }
+
     /// Register semantics: the last write wins regardless of interleaving.
     #[test]
     fn register_last_write_wins(writes in prop::collection::vec(0u16..3, 1..10)) {
