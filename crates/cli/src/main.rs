@@ -13,7 +13,12 @@
 //! rcn lint [<type>…|--all]           run the static analyzer (rcn-analyze)
 //! rcn crashtest <protocol>           enumerate every crash placement within
 //!                                    a budget; shrink + replay counterexamples
+//! rcn profile <trace.jsonl>          per-span time breakdown of a --trace file
 //! ```
+//!
+//! The search and fault commands accept `--trace PATH` (record a JSONL
+//! trace; refuses to overwrite without `--force`) and `--metrics` (print
+//! the metrics registry, as text or `--json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,6 +28,7 @@ mod types;
 use rcn_decide::{
     explain_discerning, explain_recording, BenchRecord, BenchRecorder, DiskCache, SearchEngine,
 };
+use rcn_obs::{parse_jsonl, ProfileReport, Tracer};
 use rcn_protocols::TnnRecoverable;
 use rcn_spec::dot::{to_dot, to_table_text};
 use rcn_valency::check_consensus;
@@ -62,6 +68,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate-tnn") => cmd_simulate_tnn(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("crashtest") => cmd_crashtest(&args.collect::<Vec<_>>()),
+        Some("profile") => cmd_profile(&args.collect::<Vec<_>>()),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
 }
@@ -85,6 +92,12 @@ fn print_help() {
     println!("  --timeout SECS                      wall-clock deadline; partial results are reported as ≥N lower bounds");
     println!("  --bench-json PATH                   (classify) write a machine-readable BENCH record of the run to PATH");
     println!();
+    println!("observability (classify, compare, witness, crashtest):");
+    println!("  --trace PATH                        record a JSONL span/event trace to PATH");
+    println!("                                      (refuses an existing file without --force)");
+    println!("  --metrics                           print the metrics registry after the run");
+    println!("  --json                              render --metrics (and lint/crashtest output) as JSON");
+    println!();
     println!("  dot <type> [--self-loops]           Graphviz state machine");
     println!("  table <type>                        transition table");
     println!("  solve <type> <input>…               build + verify recoverable consensus");
@@ -99,6 +112,9 @@ fn print_help() {
     println!();
     println!("  crashtest protocols: tas | tnn-wait-free[:n,n'] | tnn-recoverable[:n,n']");
     println!("                       | tournament[:type]");
+    println!();
+    println!("  profile <trace.jsonl> [--json]      per-span time breakdown (self vs children,");
+    println!("                                      call counts, p50/p99) of a --trace file");
 }
 
 /// Prints the type catalogue with per-type readability and size columns
@@ -128,9 +144,9 @@ fn cmd_types() {
 
 /// Flags taking a value shared by the search commands (`classify`,
 /// `compare`, `witness`); `--cap` is appended where it applies.
-const SEARCH_VALUE_FLAGS: &[&str] = &["--threads", "--cache-dir", "--timeout"];
+const SEARCH_VALUE_FLAGS: &[&str] = &["--threads", "--cache-dir", "--timeout", "--trace"];
 /// Valueless switches shared by the search commands.
-const SEARCH_SWITCH_FLAGS: &[&str] = &["--stats", "--no-cache"];
+const SEARCH_SWITCH_FLAGS: &[&str] = &["--stats", "--no-cache", "--metrics", "--force", "--json"];
 
 /// Command arguments split against an explicit per-command flag catalogue.
 ///
@@ -270,6 +286,59 @@ fn maybe_print_stats(parsed: &Parsed, engine: &SearchEngine) {
     }
 }
 
+/// Builds the run's tracer from `--trace PATH` / `--metrics` / `--force`:
+/// a JSONL tracer when `--trace` is given (refusing to overwrite an
+/// existing file unless `--force` is also passed), a metrics-only tracer
+/// for bare `--metrics`, and the zero-cost disabled tracer otherwise.
+fn tracer_from_args(parsed: &Parsed) -> Result<Tracer, String> {
+    if let Some(path) = parsed.value("--trace") {
+        let target = std::path::Path::new(path);
+        if target.exists() && !parsed.has("--force") {
+            return Err(format!(
+                "trace file `{path}` already exists; pass --force to overwrite it"
+            ));
+        }
+        Tracer::to_jsonl(target).map_err(|e| format!("cannot open trace file {path}: {e}"))
+    } else if parsed.has("--metrics") {
+        Ok(Tracer::metrics_only())
+    } else {
+        Ok(Tracer::disabled())
+    }
+}
+
+/// Flushes a `--trace` sink to disk and says where it went (text mode
+/// only — a `--json` command's stdout stays one JSON document).
+fn flush_trace(parsed: &Parsed, tracer: &Tracer) -> Result<(), String> {
+    if let Some(path) = parsed.value("--trace") {
+        tracer
+            .flush()
+            .map_err(|e| format!("flushing trace to {path}: {e}"))?;
+        if !parsed.has("--json") {
+            println!("trace               : {path}");
+        }
+    }
+    Ok(())
+}
+
+/// Finishes the observability side of a run: flushes the JSONL trace (and
+/// says where it went) and renders the metrics registry when `--metrics`
+/// was asked for — aligned text by default, one JSON object with `--json`.
+/// Commands that embed the snapshot in their own JSON document call
+/// [`flush_trace`] instead.
+fn finish_tracing(parsed: &Parsed, tracer: &Tracer) -> Result<(), String> {
+    flush_trace(parsed, tracer)?;
+    if parsed.has("--metrics") {
+        if let Some(snapshot) = tracer.snapshot() {
+            if parsed.has("--json") {
+                println!("{}", snapshot.to_json());
+            } else {
+                print!("{}", snapshot.render_text());
+            }
+        }
+    }
+    Ok(())
+}
+
 fn cmd_classify(args: &[&str]) -> Result<(), String> {
     let parsed = parse_args(
         args,
@@ -279,6 +348,7 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
             "--cache-dir",
             "--timeout",
             "--bench-json",
+            "--trace",
         ],
         SEARCH_SWITCH_FLAGS,
     )?;
@@ -287,41 +357,65 @@ fn cmd_classify(args: &[&str]) -> Result<(), String> {
     };
     let cap = cap_from_args(&parsed)?;
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    let engine = engine_from_args(&parsed)?;
+    let tracer = tracer_from_args(&parsed)?;
+    let engine = engine_from_args(&parsed)?.with_tracer(tracer.clone());
     let c = engine.classify(&*ty, cap).map_err(|e| e.to_string())?;
-    println!("type                : {}", c.type_name);
-    println!("readable            : {}", c.readable);
-    println!("discerning number   : {}", c.discerning.display_level());
-    println!("recording number    : {}", c.recording.display_level());
-    println!("consensus number    : {}", c.consensus_number);
-    println!("recoverable CN      : {}", c.recoverable_consensus_number);
-    if let Some(w) = &c.discerning.witness {
-        println!("discerning witness  : {}", w.describe(&*ty));
+    if parsed.has("--json") {
+        // One JSON document on stdout: the full classification, with the
+        // metrics snapshot embedded under "metrics" when asked for.
+        let mut doc =
+            serde_json::to_string(&c).map_err(|e| format!("serializing classification: {e}"))?;
+        if parsed.has("--metrics") {
+            if let Some(snapshot) = tracer.snapshot() {
+                doc.truncate(doc.len() - 1); // reopen the object
+                doc.push_str(", \"metrics\": ");
+                doc.push_str(&snapshot.to_json());
+                doc.push('}');
+            }
+        }
+        println!("{doc}");
+    } else {
+        println!("type                : {}", c.type_name);
+        println!("readable            : {}", c.readable);
+        println!("discerning number   : {}", c.discerning.display_level());
+        println!("recording number    : {}", c.recording.display_level());
+        println!("consensus number    : {}", c.consensus_number);
+        println!("recoverable CN      : {}", c.recoverable_consensus_number);
+        if let Some(w) = &c.discerning.witness {
+            println!("discerning witness  : {}", w.describe(&*ty));
+        }
+        if let Some(w) = &c.recording.witness {
+            println!("recording witness   : {}", w.describe(&*ty));
+        }
+        maybe_print_stats(&parsed, &engine);
     }
-    if let Some(w) = &c.recording.witness {
-        println!("recording witness   : {}", w.describe(&*ty));
-    }
-    maybe_print_stats(&parsed, &engine);
     warn_if_timed_out(&engine);
     if let Some(path) = parsed.value("--bench-json") {
         let mut recorder = BenchRecorder::new(format!("classify_{spec}"));
-        recorder.record(BenchRecord::from_stats(
+        recorder.record(BenchRecord::from_engine(
             format!("classify/{spec}/cap={cap}"),
-            engine.threads(),
-            &engine.stats(),
+            &engine,
         ));
         recorder
             .write_to(std::path::Path::new(path))
             .map_err(|e| format!("writing bench json to {path}: {e}"))?;
-        println!("bench json          : {path}");
+        if parsed.has("--json") {
+            eprintln!("bench json          : {path}");
+        } else {
+            println!("bench json          : {path}");
+        }
     }
-    Ok(())
+    if parsed.has("--json") {
+        flush_trace(&parsed, &tracer)
+    } else {
+        finish_tracing(&parsed, &tracer)
+    }
 }
 
 fn cmd_compare(args: &[&str]) -> Result<(), String> {
     let parsed = parse_args(
         args,
-        &["--cap", "--threads", "--cache-dir", "--timeout"],
+        &["--cap", "--threads", "--cache-dir", "--timeout", "--trace"],
         SEARCH_SWITCH_FLAGS,
     )?;
     let cap = cap_from_args(&parsed)?;
@@ -333,13 +427,14 @@ fn cmd_compare(args: &[&str]) -> Result<(), String> {
         .iter()
         .map(|spec| parse_type(spec).map_err(|e| e.to_string()))
         .collect::<Result<Vec<_>, _>>()?;
-    let engine = engine_from_args(&parsed)?;
+    let tracer = tracer_from_args(&parsed)?;
+    let engine = engine_from_args(&parsed)?.with_tracer(tracer.clone());
     let mut report = rcn_core::HierarchyReport::new(cap);
     report.add_all(&types, &engine).map_err(|e| e.to_string())?;
     println!("{report}");
     maybe_print_stats(&parsed, &engine);
     warn_if_timed_out(&engine);
-    Ok(())
+    finish_tracing(&parsed, &tracer)
 }
 
 fn cmd_witness(args: &[&str]) -> Result<(), String> {
@@ -353,7 +448,8 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
         .map_err(|_| "n must be a number ≥ 2")?;
     let kind = pos.next().unwrap_or("recording");
     let ty = parse_type(spec).map_err(|e| e.to_string())?;
-    let engine = engine_from_args(&parsed)?;
+    let tracer = tracer_from_args(&parsed)?;
+    let engine = engine_from_args(&parsed)?.with_tracer(tracer.clone());
     match kind {
         "discerning" => match engine
             .find_discerning_witness(&*ty, n)
@@ -382,7 +478,7 @@ fn cmd_witness(args: &[&str]) -> Result<(), String> {
         }
     }
     maybe_print_stats(&parsed, &engine);
-    Ok(())
+    finish_tracing(&parsed, &tracer)
 }
 
 fn cmd_dot(args: &[&str]) -> Result<(), String> {
@@ -488,8 +584,9 @@ const LINT_ALL_TYPES: &[&str] = &[
 fn cmd_lint(args: &[&str]) -> Result<(), String> {
     use rcn_analyze::{ExploreConfig, Registry, Report};
 
-    let parsed = parse_args(args, &["--deny"], &["--json", "--all"])?;
+    let parsed = parse_args(args, &["--deny"], &["--json", "--all", "--stats"])?;
     let json = parsed.has("--json");
+    let started = std::time::Instant::now();
     let deny_warnings = match parsed.value("--deny") {
         None => false,
         Some("warnings") => true,
@@ -539,6 +636,22 @@ fn cmd_lint(args: &[&str]) -> Result<(), String> {
         println!("{}", combined.render_json());
     } else {
         print!("{}", combined.render_text());
+    }
+    if parsed.has("--stats") {
+        let line = format!(
+            "lint stats          : {} type(s){} linted, {} error(s), {} warning(s) in {:.3}s",
+            specs.len(),
+            if all { " + 2 system(s)" } else { "" },
+            combined.errors(),
+            combined.warnings(),
+            started.elapsed().as_secs_f64()
+        );
+        if json {
+            // Keep stdout a single JSON document.
+            eprintln!("{line}");
+        } else {
+            println!("{line}");
+        }
     }
     if combined.should_fail(deny_warnings) {
         Err(format!(
@@ -630,17 +743,25 @@ fn json_str(s: &str) -> String {
 }
 
 fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
-    use rcn_faults::{crashtest, replay, shrink_counterexample, CrashtestConfig};
+    use rcn_faults::{
+        crashtest_traced, replay_traced, shrink_counterexample_traced, CrashtestConfig,
+    };
 
     let parsed = parse_args(
         args,
-        &["--crashes", "--depth", "--max-states", "--inputs"],
-        &["--shrink", "--json"],
+        &[
+            "--crashes",
+            "--depth",
+            "--max-states",
+            "--inputs",
+            "--trace",
+        ],
+        &["--shrink", "--json", "--stats", "--metrics", "--force"],
     )?;
     let [spec] = parsed.positionals[..] else {
         return Err(
             "usage: rcn crashtest <protocol> [--crashes K] [--depth D] [--max-states N] \
-             [--inputs 0,1] [--shrink] [--json]"
+             [--inputs 0,1] [--shrink] [--json] [--stats] [--trace PATH] [--metrics]"
                 .into(),
         );
     };
@@ -666,19 +787,22 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
         .transpose()?;
     let (label, sys) = build_protocol(spec, inputs)?;
 
-    let report = crashtest(&sys, config);
+    let tracer = tracer_from_args(&parsed)?;
+    let started = std::time::Instant::now();
+    let report = crashtest_traced(&sys, config, &tracer);
     let shrunk = report.counterexample.as_ref().map(|cex| {
         let minimal = if parsed.has("--shrink") {
-            shrink_counterexample(&sys, cex)
+            shrink_counterexample_traced(&sys, cex, &tracer)
         } else {
             cex.clone()
         };
         // Counterexamples are never reported on the abstract executor's
         // word alone: the schedule must reproduce end-to-end through the
         // threaded runtime too.
-        let replayed = replay(&sys, &minimal.schedule);
+        let replayed = replay_traced(&sys, &minimal.schedule, &tracer);
         (minimal, replayed)
     });
+    let wall = started.elapsed();
 
     if parsed.has("--json") {
         let mut fields = vec![
@@ -705,6 +829,14 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             fields.push(format!("\"shrunk\": {}", parsed.has("--shrink")));
             fields.push(format!("\"replay_confirmed\": {}", replayed.confirmed()));
         }
+        if parsed.has("--stats") {
+            fields.push(format!("\"wall_seconds\": {}", wall.as_secs_f64()));
+        }
+        if parsed.has("--metrics") {
+            if let Some(snapshot) = tracer.snapshot() {
+                fields.push(format!("\"metrics\": {}", snapshot.to_json()));
+            }
+        }
         println!("{{{}}}", fields.join(", "));
     } else {
         println!("protocol            : {label}");
@@ -713,6 +845,23 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             config.max_crashes, config.max_depth
         );
         println!("explored            : {}", report.stats);
+        if parsed.has("--stats") {
+            println!(
+                "crashtest stats     : {} in {:.3}s{}{}",
+                report.stats,
+                wall.as_secs_f64(),
+                if report.stats.depth_limited {
+                    " (depth cap reached)"
+                } else {
+                    ""
+                },
+                if parsed.has("--shrink") && report.counterexample.is_some() {
+                    " (+shrink/replay)"
+                } else {
+                    ""
+                },
+            );
+        }
         match &shrunk {
             None => {
                 if report.is_certified_clean() {
@@ -749,12 +898,51 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             }
         }
     }
+    if let Some(path) = parsed.value("--trace") {
+        tracer
+            .flush()
+            .map_err(|e| format!("flushing trace to {path}: {e}"))?;
+        if !parsed.has("--json") {
+            println!("trace               : {path}");
+        }
+    }
+    // In JSON mode the metrics already rode along inside the one report
+    // object; only text mode gets the registry printed separately.
+    if parsed.has("--metrics") && !parsed.has("--json") {
+        if let Some(snapshot) = tracer.snapshot() {
+            print!("{}", snapshot.render_text());
+        }
+    }
     match &shrunk {
         Some(_) => Err(format!(
             "crashtest found a counterexample for {spec} (see above)"
         )),
         None => Ok(()),
     }
+}
+
+/// `rcn profile <trace.jsonl>` — aggregate a `--trace` file into a
+/// per-span time breakdown: call counts, total and self time (total minus
+/// direct children), and exact p50/p99 per-call durations.
+fn cmd_profile(args: &[&str]) -> Result<(), String> {
+    let parsed = parse_args(args, &[], &["--json"])?;
+    let [path] = parsed.positionals[..] else {
+        return Err("usage: rcn profile <trace.jsonl> [--json]".into());
+    };
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read trace {path}: {e}"))?;
+    let events = parse_jsonl(&text).map_err(|e| format!("bad trace {path}: {e}"))?;
+    if events.is_empty() {
+        return Err(format!("trace {path} contains no events"));
+    }
+    let report = ProfileReport::build(&events);
+    if parsed.has("--json") {
+        println!("{}", report.to_json());
+    } else {
+        println!("profile of {path} ({} trace rows)", events.len());
+        print!("{}", report.render_text());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -834,6 +1022,71 @@ mod tests {
         .is_ok());
         // A flag value must not be eaten as a positional type name.
         assert!(run(&s(&["classify", "--threads", "2", "tas"])).is_ok());
+    }
+
+    #[test]
+    fn trace_metrics_and_profile_round_trip() {
+        let dir = std::env::temp_dir().join(format!("rcn-cli-trace-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace = dir.join("t.jsonl");
+        let trace_arg = trace.to_str().unwrap();
+
+        // A traced classify writes parseable JSONL.
+        assert!(run(&s(&["classify", "tas", "--cap", "3", "--trace", trace_arg])).is_ok());
+        let text = std::fs::read_to_string(&trace).unwrap();
+        let events = parse_jsonl(&text).expect("every trace line parses");
+        assert!(
+            events.iter().any(|e| e.name == "engine.level"),
+            "classify must record engine.level spans"
+        );
+
+        // Overwrite refusal without --force; --force allows it.
+        assert!(run(&s(&["classify", "tas", "--cap", "3", "--trace", trace_arg])).is_err());
+        assert!(run(&s(&[
+            "classify", "tas", "--cap", "3", "--trace", trace_arg, "--force"
+        ]))
+        .is_ok());
+
+        // The profile command digests the trace, in both renderings.
+        assert!(run(&s(&["profile", trace_arg])).is_ok());
+        assert!(run(&s(&["profile", trace_arg, "--json"])).is_ok());
+        assert!(run(&s(&["profile", "/nonexistent/t.jsonl"])).is_err());
+
+        // --metrics works standalone and with --json, on search and faults.
+        assert!(run(&s(&["classify", "tas", "--cap", "3", "--metrics"])).is_ok());
+        assert!(run(&s(&[
+            "classify",
+            "tas",
+            "--cap",
+            "3",
+            "--metrics",
+            "--json"
+        ]))
+        .is_ok());
+        assert!(run(&s(&["witness", "sticky", "3", "recording", "--metrics"])).is_ok());
+        assert!(run(&s(&["compare", "tas", "--cap", "3", "--metrics"])).is_ok());
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashtest_and_lint_take_stats_and_metrics() {
+        // crashtest: tas finds a counterexample (exit err) — flags must
+        // still be accepted; the clean tournament run exits ok.
+        assert!(run(&s(&["crashtest", "tas", "--stats", "--metrics"])).is_err());
+        assert!(run(&s(&[
+            "crashtest",
+            "tnn-wait-free",
+            "--depth",
+            "6",
+            "--shrink",
+            "--stats",
+            "--metrics",
+            "--json"
+        ]))
+        .is_err());
+        assert!(run(&s(&["lint", "tas", "--stats"])).is_ok());
+        assert!(run(&s(&["lint", "tas", "--stats", "--json"])).is_ok());
     }
 
     #[test]

@@ -1,0 +1,39 @@
+//! E15 driver: in-process tracing overhead on `team-counter:5 --cap 6`.
+//!
+//! Classifies the same type repeatedly under each tracer sink and reports
+//! the minimum and average engine busy time. Run with
+//! `cargo run --release -p rcn-decide --example trace_overhead`.
+use rcn_decide::SearchEngine;
+use rcn_obs::Tracer;
+use rcn_spec::zoo::TeamCounter;
+use rcn_spec::ObjectType;
+
+fn main() {
+    let reps: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(30);
+    // Dyn dispatch, like the CLI's `parse_type` output.
+    let ty: Box<dyn ObjectType + Sync> = Box::new(TeamCounter::new(5));
+    println!("{:>8}  {:>10}  {:>10}", "sink", "min_ms", "avg_ms");
+    for mode in ["off", "metrics", "ring", "jsonl"] {
+        let mut best = f64::INFINITY;
+        let mut total = 0.0;
+        for _ in 0..reps {
+            let tracer = match mode {
+                "off" => Tracer::disabled(),
+                "metrics" => Tracer::metrics_only(),
+                "ring" => Tracer::ring(1 << 12),
+                _ => Tracer::to_jsonl(std::env::temp_dir().join("rcn-trace-overhead.jsonl"))
+                    .expect("open trace file"),
+            };
+            let engine = SearchEngine::new(1).with_tracer(tracer);
+            let c = engine.classify(ty.as_ref(), 6).expect("cap in range");
+            std::hint::black_box(c);
+            let ms = engine.stats().busy_time.as_secs_f64() * 1e3;
+            best = best.min(ms);
+            total += ms;
+        }
+        println!("{mode:>8}  {best:>10.3}  {:>10.3}", total / reps as f64);
+    }
+}

@@ -7,19 +7,34 @@
 //! recorder with a list of [`BenchRecord`]s; the schema is flat on purpose
 //! so `python3 -c "json.load(...)"`-style checks stay one-liners.
 
-use crate::engine::SearchStats;
+use crate::cache::CACHE_FORMAT_VERSION;
+use crate::engine::{SearchEngine, SearchStats};
+use rcn_obs::MetricsSnapshot;
 use serde::{Deserialize, Serialize};
 use std::io::Write as _;
 use std::path::Path;
 
-/// One measured configuration: identifying name, thread count, wall/busy
-/// times, and the engine's work/cache counters.
+/// One measured configuration: identifying name, run metadata (version,
+/// cache format, feature toggles), thread counts, wall/busy times, the
+/// engine's work/cache counters, and a full metrics snapshot — enough to
+/// tell BENCH files from different configurations apart without guessing.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BenchRecord {
     /// What was measured (e.g. `"classify/team-counter:5/cap=4"`).
     pub name: String,
+    /// The `rcn` workspace version that produced the record.
+    pub rcn_version: String,
+    /// The disk-cache format version in effect
+    /// ([`CACHE_FORMAT_VERSION`](crate::CACHE_FORMAT_VERSION)).
+    pub cache_format_version: u32,
     /// Search worker threads the run used.
     pub threads: usize,
+    /// Intra-analysis worker setting (0 = automatic).
+    pub analysis_threads: usize,
+    /// Whether incremental level seeding was enabled.
+    pub incremental: bool,
+    /// The partition-sharding policy (`"auto"`, `"never"`, `"always"`).
+    pub sharding: String,
     /// Real elapsed time, in seconds.
     pub wall_seconds: f64,
     /// Summed per-worker busy time, in seconds (≥ wall when workers overlap).
@@ -40,14 +55,25 @@ pub struct BenchRecord {
     pub instances_visited: u64,
     /// Whether the run hit a search deadline (numbers are then partial).
     pub timed_out: bool,
+    /// The full metrics snapshot at record time (the `engine.*` counters,
+    /// plus whatever else the run's tracer registered), so the file is
+    /// self-explaining without cross-referencing the flat fields.
+    pub metrics: MetricsSnapshot,
 }
 
 impl BenchRecord {
-    /// Builds a record from an engine's [`SearchStats`] snapshot.
+    /// Builds a record from an engine's [`SearchStats`] snapshot. Feature
+    /// toggles take their defaults; use [`from_engine`](Self::from_engine)
+    /// when the engine is at hand.
     pub fn from_stats(name: impl Into<String>, threads: usize, stats: &SearchStats) -> BenchRecord {
         BenchRecord {
             name: name.into(),
+            rcn_version: env!("CARGO_PKG_VERSION").to_string(),
+            cache_format_version: CACHE_FORMAT_VERSION,
             threads,
+            analysis_threads: 0,
+            incremental: true,
+            sharding: "auto".to_string(),
             wall_seconds: stats.wall_time.as_secs_f64(),
             busy_seconds: stats.busy_time.as_secs_f64(),
             analyses_computed: stats.analyses_computed,
@@ -58,7 +84,24 @@ impl BenchRecord {
             partitions_tested: stats.partitions_tested,
             instances_visited: stats.instances_visited,
             timed_out: stats.timed_out,
+            metrics: stats.metrics(),
         }
+    }
+
+    /// Builds a record straight from an engine: [`Self::from_stats`]
+    /// plus the engine's actual configuration (analysis
+    /// threads, incremental seeding, sharding policy) and, when a tracer is
+    /// attached, its full metrics registry instead of the stats-only
+    /// snapshot.
+    pub fn from_engine(name: impl Into<String>, engine: &SearchEngine) -> BenchRecord {
+        let mut record = BenchRecord::from_stats(name, engine.threads(), &engine.stats());
+        record.analysis_threads = engine.analysis_threads();
+        record.incremental = engine.incremental();
+        record.sharding = engine.partition_sharding().to_string();
+        if let Some(snapshot) = engine.tracer().snapshot() {
+            record.metrics = snapshot;
+        }
+        record
     }
 
     /// Builds a record from a raw timing (for benches that measure a
@@ -72,7 +115,12 @@ impl BenchRecord {
     ) -> BenchRecord {
         BenchRecord {
             name: name.into(),
+            rcn_version: env!("CARGO_PKG_VERSION").to_string(),
+            cache_format_version: CACHE_FORMAT_VERSION,
             threads,
+            analysis_threads: 0,
+            incremental: true,
+            sharding: "auto".to_string(),
             wall_seconds,
             busy_seconds: wall_seconds,
             analyses_computed: iterations,
@@ -83,6 +131,7 @@ impl BenchRecord {
             partitions_tested: 0,
             instances_visited: 0,
             timed_out: false,
+            metrics: MetricsSnapshot::new(),
         }
     }
 }
@@ -188,6 +237,31 @@ mod tests {
         let text = std::fs::read_to_string(&path).expect("read back");
         assert!(text.contains("\"wall_seconds\""));
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn from_engine_captures_configuration_and_metrics() {
+        let engine = SearchEngine::sequential().with_incremental(false);
+        engine
+            .classify(&TestAndSet::new(), 3)
+            .expect("cap in range");
+        let record = BenchRecord::from_engine("classify/tas", &engine);
+        assert_eq!(record.rcn_version, env!("CARGO_PKG_VERSION"));
+        assert_eq!(
+            record.cache_format_version,
+            crate::cache::CACHE_FORMAT_VERSION
+        );
+        assert!(!record.incremental);
+        assert_eq!(record.sharding, "auto");
+        assert_eq!(
+            record.metrics.counter("engine.analyses_computed"),
+            Some(record.analyses_computed)
+        );
+        // The metadata survives the JSON round trip.
+        let mut rec = BenchRecorder::new("meta");
+        rec.record(record);
+        let back: BenchRecorder = serde_json::from_str(&rec.to_json()).expect("parse back");
+        assert_eq!(back, rec);
     }
 
     #[test]

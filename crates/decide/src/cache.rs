@@ -40,6 +40,7 @@
 
 use crate::engine::SearchEngine;
 use crate::reach::Analysis;
+use rcn_obs::Tracer;
 use rcn_spec::{ObjectType, OpId, ValueId};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, HashSet};
@@ -331,6 +332,7 @@ struct CacheFile {
 pub struct DiskCache {
     dir: PathBuf,
     io: Arc<dyn CacheIo>,
+    tracer: Tracer,
 }
 
 /// Makes concurrent [`DiskCache::store`] calls in one process use distinct
@@ -350,7 +352,23 @@ impl DiskCache {
         DiskCache {
             dir: dir.into(),
             io,
+            tracer: Tracer::disabled(),
         }
+    }
+
+    /// Attaches a [`Tracer`]: loads, stores, quarantines, and transient-
+    /// fault retries become `cache.*` events (with byte sizes and outcomes)
+    /// and counters. [`SearchEngine::with_tracer`] propagates its tracer
+    /// here automatically when the cache has none of its own.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> DiskCache {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer ([`Tracer::disabled`] by default).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// The cache directory.
@@ -372,6 +390,11 @@ impl DiskCache {
     /// nothing (the corrupt file keeps being skipped by `load`).
     fn quarantine(&self, path: &Path) {
         let _ = self.io.rename(path, &path.with_extension("bad"));
+        self.tracer.counter("cache.quarantined").incr();
+        if self.tracer.recording() {
+            self.tracer
+                .event("cache.quarantine", 0, &path.to_string_lossy());
+        }
     }
 
     /// Loads every valid level-`n` entry for the fingerprinted type.
@@ -387,10 +410,13 @@ impl DiskCache {
         let mut out = HashMap::new();
         let path = self.file_path(fingerprint, n);
         let Ok(text) = self.io.read_to_string(&path) else {
+            self.tracer.event("cache.load", 0, "miss");
             return out;
         };
+        let bytes = i64::try_from(text.len()).unwrap_or(i64::MAX);
         let Ok(file) = serde_json::from_str::<CacheFile>(&text) else {
             self.quarantine(&path);
+            self.tracer.event("cache.load", bytes, "corrupt");
             return out;
         };
         if file.version != CACHE_FORMAT_VERSION
@@ -398,6 +424,7 @@ impl DiskCache {
             || file.level != n as u64
         {
             self.quarantine(&path);
+            self.tracer.event("cache.load", bytes, "header-mismatch");
             return out;
         }
         let (num_values, num_ops) = (ty.num_values(), ty.num_ops());
@@ -414,6 +441,16 @@ impl DiskCache {
             let key = (entry.initial, entry.ops.iter().map(|&o| OpId(o)).collect());
             out.insert(key, Arc::new(entry.analysis));
         }
+        self.tracer
+            .counter("cache.entries_loaded")
+            .add(out.len() as u64);
+        if self.tracer.recording() {
+            self.tracer.event(
+                "cache.load",
+                bytes,
+                &format!("ok level={n} entries={}", out.len()),
+            );
+        }
         out
     }
 
@@ -427,6 +464,7 @@ impl DiskCache {
         n: usize,
         entries: Vec<(u16, Vec<OpId>, Arc<Analysis>)>,
     ) -> bool {
+        let entry_count = entries.len();
         let file = CacheFile {
             version: CACHE_FORMAT_VERSION,
             fingerprint,
@@ -445,8 +483,17 @@ impl DiskCache {
         let Ok(json) = serde_json::to_string(&file) else {
             return false;
         };
-        let retry = |op: &dyn Fn() -> io::Result<()>| op().or_else(|_| op()).is_ok();
+        let retries = self.tracer.counter("cache.retries");
+        let retry = |op: &dyn Fn() -> io::Result<()>| match op() {
+            Ok(()) => true,
+            // Transient fault: count the first failure, try once more.
+            Err(_) => {
+                retries.incr();
+                op().is_ok()
+            }
+        };
         if !retry(&|| self.io.create_dir_all(&self.dir)) {
+            self.store_event(false, 0, entry_count, n);
             return false;
         }
         let path = self.file_path(fingerprint, n);
@@ -467,7 +514,29 @@ impl DiskCache {
             // it and a non-filesystem CacheIo never sees a real-disk call.
             let _ = self.io.remove_file(&tmp);
         }
+        self.store_event(ok, json.len(), entry_count, n);
         ok
+    }
+
+    /// Records one `cache.store` event plus the outcome counter.
+    fn store_event(&self, ok: bool, bytes: usize, entries: usize, n: usize) {
+        self.tracer
+            .counter(if ok {
+                "cache.stores"
+            } else {
+                "cache.store_failures"
+            })
+            .incr();
+        if self.tracer.recording() {
+            self.tracer.event(
+                "cache.store",
+                i64::try_from(bytes).unwrap_or(i64::MAX),
+                &format!(
+                    "{} level={n} entries={entries}",
+                    if ok { "ok" } else { "failed" }
+                ),
+            );
+        }
     }
 }
 
@@ -588,6 +657,17 @@ impl<'d> AnalysisStore<'d> {
             } else {
                 None
             };
+            // One span per analysis actually computed (memo/disk hits stay
+            // silent — they are counters, not work).
+            let _span = engine.tracer().span_with(
+                "engine.analysis",
+                i64::try_from(ops.len()).unwrap_or(i64::MAX),
+                if prefix.is_some() {
+                    "extend"
+                } else {
+                    "scratch"
+                },
+            );
             Arc::new(match prefix {
                 Some(p) => {
                     incremental = true;

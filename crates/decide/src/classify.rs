@@ -72,7 +72,7 @@ impl fmt::Display for Bound {
 }
 
 /// The full classification of one type.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct TypeClassification {
     /// The type's name.
     pub type_name: String,

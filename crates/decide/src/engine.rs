@@ -48,6 +48,7 @@ use crate::recording::recording_holds;
 use crate::search::{instances, partitions};
 use crate::witness::{Team, Witness};
 use crate::DiskCache;
+use rcn_obs::{MetricsSnapshot, Tracer};
 use rcn_spec::{ObjectType, OpId, ValueId};
 use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -132,6 +133,16 @@ pub enum PartitionSharding {
     Always,
 }
 
+impl fmt::Display for PartitionSharding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            PartitionSharding::Auto => "auto",
+            PartitionSharding::Never => "never",
+            PartitionSharding::Always => "always",
+        })
+    }
+}
+
 /// A snapshot of the engine's observability counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SearchStats {
@@ -174,6 +185,36 @@ pub struct SearchStats {
     pub instances_abandoned: u64,
 }
 
+impl SearchStats {
+    /// The stats as a metrics snapshot (the same `engine.*` counter names
+    /// an attached [`Tracer`] publishes), so scripts consume one schema
+    /// whether they read `--stats --json` or `--metrics --json`.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::new();
+        snap.push_counter("engine.analyses_computed", self.analyses_computed);
+        snap.push_counter("engine.busy_ns", duration_to_ns(self.busy_time));
+        snap.push_counter("engine.cache_hits", self.cache_hits);
+        snap.push_counter("engine.disk_entries_written", self.disk_entries_written);
+        snap.push_counter("engine.disk_hits", self.disk_hits);
+        snap.push_counter("engine.incremental_hits", self.incremental_hits);
+        snap.push_counter("engine.instances_abandoned", self.instances_abandoned);
+        snap.push_counter("engine.instances_visited", self.instances_visited);
+        snap.push_counter("engine.partitions_tested", self.partitions_tested);
+        snap.push_counter("engine.timed_out", u64::from(self.timed_out));
+        snap.push_counter("engine.wall_ns", duration_to_ns(self.wall_time));
+        snap
+    }
+
+    /// The stats as one compact JSON object (the metrics-snapshot schema).
+    pub fn to_json(&self) -> String {
+        self.metrics().to_json()
+    }
+}
+
+fn duration_to_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
 impl fmt::Display for SearchStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -210,6 +251,13 @@ enum Condition {
 }
 
 impl Condition {
+    fn name(self) -> &'static str {
+        match self {
+            Condition::Recording => "recording",
+            Condition::Discerning => "discerning",
+        }
+    }
+
     fn holds(self, analysis: &Analysis, u: ValueId, t0: &[usize], t1: &[usize]) -> bool {
         match self {
             Condition::Recording => recording_holds(analysis, u, t0, t1),
@@ -325,6 +373,7 @@ pub struct SearchEngine {
     incremental: bool,
     disk: Option<DiskCache>,
     timeout: Option<Duration>,
+    tracer: Tracer,
     counters: Counters,
     wall: WallClock,
 }
@@ -345,6 +394,7 @@ impl SearchEngine {
             incremental: true,
             disk: None,
             timeout: None,
+            tracer: Tracer::disabled(),
             counters: Counters::default(),
             wall: WallClock::default(),
         }
@@ -360,7 +410,34 @@ impl SearchEngine {
     /// analyses back after. See [`DiskCache`] for the trust model.
     #[must_use]
     pub fn with_disk_cache(mut self, cache: DiskCache) -> SearchEngine {
-        self.disk = Some(cache);
+        // Order-independence with `with_tracer`: an engine tracer already
+        // attached flows into the cache unless the cache brought its own.
+        self.disk = Some(if self.tracer.enabled() && !cache.tracer().enabled() {
+            cache.with_tracer(self.tracer.clone())
+        } else {
+            cache
+        });
+        self
+    }
+
+    /// Attaches a [`Tracer`]: the engine opens an `engine.level` span per
+    /// level search (bracketing exactly the region `busy_time` measures),
+    /// emits queue-depth and timeout events, and publishes its
+    /// [`SearchStats`] counters into the tracer's metrics registry after
+    /// every public search call. An attached [`DiskCache`] without its own
+    /// tracer inherits this one (in either attachment order). Tracing is
+    /// observation only — results are bit-identical with any tracer,
+    /// including [`Tracer::disabled`] (the default).
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> SearchEngine {
+        if let Some(disk) = self.disk.take() {
+            self.disk = Some(if disk.tracer().enabled() {
+                disk
+            } else {
+                disk.with_tracer(tracer.clone())
+            });
+        }
+        self.tracer = tracer;
         self
     }
 
@@ -445,8 +522,26 @@ impl SearchEngine {
         self.incremental
     }
 
+    /// The attached tracer ([`Tracer::disabled`] unless
+    /// [`with_tracer`](Self::with_tracer) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     pub(crate) fn counters(&self) -> &Counters {
         &self.counters
+    }
+
+    /// Publishes the current [`SearchStats`] into the tracer's metrics
+    /// registry (no-op when disabled). Called at the end of every public
+    /// search call so `--metrics` always reflects the finished work.
+    fn publish_metrics(&self) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        for entry in &self.stats().metrics().counters {
+            self.tracer.set(&entry.name, entry.value);
+        }
     }
 
     /// Snapshot of the counters accumulated since creation (or the last
@@ -531,6 +626,7 @@ impl SearchEngine {
             self.threads,
             self.deadline(),
         )?;
+        self.publish_metrics();
         Ok(outcome.witness)
     }
 
@@ -561,6 +657,7 @@ impl SearchEngine {
             self.threads,
             self.deadline(),
         )?;
+        self.publish_metrics();
         Ok(outcome.witness)
     }
 
@@ -583,14 +680,16 @@ impl SearchEngine {
         validate_level(cap)?;
         self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        self.level_scan(
+        let result = self.level_scan(
             ty,
             cap,
             Condition::Recording,
             &store,
             self.threads,
             self.deadline(),
-        )
+        );
+        self.publish_metrics();
+        result
     }
 
     /// Computes the discerning number up to `cap` (parallel equivalent of
@@ -612,14 +711,16 @@ impl SearchEngine {
         validate_level(cap)?;
         self.arm_call();
         let store = AnalysisStore::new(ty, self.disk.as_ref());
-        self.level_scan(
+        let result = self.level_scan(
             ty,
             cap,
             Condition::Discerning,
             &store,
             self.threads,
             self.deadline(),
-        )
+        );
+        self.publish_metrics();
+        result
     }
 
     /// Classifies a type by running both deciders up to `cap` over a
@@ -669,6 +770,7 @@ impl SearchEngine {
             self.level_scan(ty, cap, Condition::Discerning, &store, threads, deadline)?;
         let recording =
             self.level_scan(ty, cap, Condition::Recording, &store, threads, deadline)?;
+        self.publish_metrics();
         let consensus_number = level_to_bound(&discerning, readable);
         let recoverable_consensus_number = level_to_bound(&recording, readable);
         Ok(TypeClassification {
@@ -755,6 +857,13 @@ impl SearchEngine {
         // each wall interval nests inside its own busy interval, so the
         // interval union can never exceed the busy sum.
         let start = Instant::now();
+        // The span brackets the same region `busy_time` measures, so a
+        // profile's `engine.level` total reconciles with the busy stat.
+        let level_span = self.tracer.span_with(
+            "engine.level",
+            i64::try_from(n).unwrap_or(i64::MAX),
+            cond.name(),
+        );
         self.wall.enter();
         store.prepare_level(ty, n);
         let space: Vec<(ValueId, Vec<OpId>)> =
@@ -801,6 +910,21 @@ impl SearchEngine {
                 })
             })
             .collect();
+
+        if self.tracer.recording() {
+            // Queue depth at level start: how many claimable tasks the
+            // workers are about to drain.
+            level_span.event(
+                "engine.queue",
+                i64::try_from(tasks.len()).unwrap_or(i64::MAX),
+                &format!(
+                    "instances={} partitions={} chunks={}",
+                    space.len(),
+                    teams_of.len(),
+                    chunk_count
+                ),
+            );
+        }
 
         let next = AtomicUsize::new(0);
         let stop = AtomicBool::new(false);
@@ -904,6 +1028,7 @@ impl SearchEngine {
             u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX),
             Ordering::Relaxed,
         );
+        drop(level_span);
         if let Some(message) = panicked.into_inner().expect("panic slot") {
             return Err(SearchError::TaskPanicked { message });
         }
@@ -923,6 +1048,11 @@ impl SearchEngine {
             self.counters
                 .instances_abandoned
                 .fetch_add(abandoned.len() as u64, Ordering::Relaxed);
+            self.tracer.event(
+                "engine.timeout",
+                i64::try_from(abandoned.len()).unwrap_or(i64::MAX),
+                cond.name(),
+            );
         }
         Ok(FindOutcome { witness, timed_out })
     }
@@ -1249,6 +1379,80 @@ mod tests {
         let stats = engine.stats();
         assert!(!stats.timed_out);
         assert_eq!(stats.instances_abandoned, 0);
+    }
+
+    #[test]
+    fn tracer_records_levels_and_publishes_metrics() {
+        let tracer = Tracer::ring(4096);
+        let engine = SearchEngine::sequential().with_tracer(tracer.clone());
+        engine.classify(&TestAndSet::new(), 3).unwrap();
+        // The registry mirrors the stats counters after every public call.
+        let stats = engine.stats();
+        let snap = tracer.snapshot().unwrap();
+        assert_eq!(
+            snap.counter("engine.analyses_computed"),
+            Some(stats.analyses_computed)
+        );
+        assert_eq!(
+            snap.counter("engine.partitions_tested"),
+            Some(stats.partitions_tested)
+        );
+        assert_eq!(snap.counter("engine.timed_out"), Some(0));
+        // Spans: one engine.level per (condition, level) searched, each
+        // with a queue event inside, plus one engine.analysis per computed
+        // analysis.
+        let events = tracer.ring_events();
+        let level_opens = events
+            .iter()
+            .filter(|e| e.kind == rcn_obs::KIND_OPEN && e.name == "engine.level")
+            .count();
+        assert!(level_opens >= 3, "two conditions over cap 3: {level_opens}");
+        assert_eq!(
+            events
+                .iter()
+                .filter(|e| e.kind == rcn_obs::KIND_OPEN && e.name == "engine.analysis")
+                .count() as u64,
+            stats.analyses_computed
+        );
+        assert!(events.iter().any(|e| e.name == "engine.queue"));
+        // Every open has its close.
+        let opens = events.iter().filter(|e| e.kind == rcn_obs::KIND_OPEN);
+        assert!(opens.clone().all(|open| events
+            .iter()
+            .any(|e| e.kind == rcn_obs::KIND_CLOSE && e.id == open.id)));
+    }
+
+    #[test]
+    fn stats_metrics_json_matches_the_counters() {
+        let engine = SearchEngine::sequential();
+        engine.classify(&TestAndSet::new(), 3).unwrap();
+        let stats = engine.stats();
+        let snap = stats.metrics();
+        assert_eq!(snap.counter("engine.cache_hits"), Some(stats.cache_hits));
+        assert_eq!(
+            snap.counter("engine.busy_ns"),
+            Some(u64::try_from(stats.busy_time.as_nanos()).unwrap())
+        );
+        assert!(stats.to_json().contains("\"engine.analyses_computed\""));
+    }
+
+    #[test]
+    fn engine_tracer_propagates_into_the_disk_cache_either_order() {
+        let tracer = Tracer::metrics_only();
+        let dir = std::env::temp_dir().join(format!(
+            "rcn-engine-tracer-prop-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let cache_first = SearchEngine::sequential()
+            .with_disk_cache(DiskCache::new(&dir))
+            .with_tracer(tracer.clone());
+        assert!(cache_first.disk_cache().unwrap().tracer().enabled());
+        let tracer_first = SearchEngine::sequential()
+            .with_tracer(tracer)
+            .with_disk_cache(DiskCache::new(&dir));
+        assert!(tracer_first.disk_cache().unwrap().tracer().enabled());
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

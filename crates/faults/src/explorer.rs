@@ -22,6 +22,7 @@
 
 use crate::diagnose::{diagnose, Divergence};
 use rcn_model::{Action, Configuration, Event, ProcessId, Schedule, System, Violation};
+use rcn_obs::{Counter, HistogramHandle, Tracer};
 use std::collections::HashMap;
 use std::fmt;
 
@@ -138,12 +139,35 @@ impl CrashtestReport {
 pub struct CrashExplorer<'s> {
     system: &'s System,
     config: CrashtestConfig,
+    tracer: Tracer,
 }
 
 impl<'s> CrashExplorer<'s> {
     /// Creates an explorer for `system` with the given budgets.
     pub fn new(system: &'s System, config: CrashtestConfig) -> Self {
-        CrashExplorer { system, config }
+        CrashExplorer {
+            system,
+            config,
+            tracer: Tracer::disabled(),
+        }
+    }
+
+    /// Attaches a tracer: the exploration is bracketed in a
+    /// `crashtest.explore` span, the DFS maintains the
+    /// `crashtest.events_applied` / `crashtest.memo_hits` /
+    /// `crashtest.re_explored` counters and a `crashtest.depth` histogram
+    /// (one observation per newly visited state), and the final
+    /// [`ExploreStats`] are published as `crashtest.*` counters.
+    #[must_use]
+    pub fn with_tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// The attached tracer ([`Tracer::disabled`] unless
+    /// [`with_tracer`](Self::with_tracer) was called).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 
     /// Runs the exploration: every schedule of length ≤ `max_depth` whose
@@ -154,21 +178,35 @@ impl<'s> CrashExplorer<'s> {
     /// in a fixed order (steps of `p0..pn`, then crashes of `p0..pn`), so
     /// the returned counterexample is the same on every run.
     pub fn explore(&self) -> CrashtestReport {
+        let span = self.tracer.span_with(
+            "crashtest.explore",
+            i64::try_from(self.config.max_depth).unwrap_or(i64::MAX),
+            &format!(
+                "crashes={} states={}",
+                self.config.max_crashes, self.config.max_states
+            ),
+        );
         let mut search = Search {
             system: self.system,
             budget: self.config,
             visited: HashMap::new(),
             path: Vec::new(),
             stats: ExploreStats::default(),
+            events: self.tracer.counter("crashtest.events_applied"),
+            memo_hits: self.tracer.counter("crashtest.memo_hits"),
+            re_explored: self.tracer.counter("crashtest.re_explored"),
+            depths: self.tracer.histogram("crashtest.depth"),
         };
         let initial = self.system.initial_config();
         // A protocol can violate before any event (conflicting or invalid
         // initial-state outputs).
         if let Some(violation) = self.system.check_initial_outputs(&initial) {
-            return CrashtestReport {
+            let report = CrashtestReport {
                 stats: search.stats,
                 counterexample: Some(self.diagnosed(Schedule::new(), violation)),
             };
+            self.publish(&report, &span);
+            return report;
         }
         let crash_counts = vec![0usize; self.system.n()];
         search.visited.insert(
@@ -176,11 +214,46 @@ impl<'s> CrashExplorer<'s> {
             self.config.max_depth,
         );
         search.stats.states_visited = 1;
+        search.depths.observe(0);
         let violation = search.dfs(&initial, &crash_counts, 0);
-        CrashtestReport {
+        let report = CrashtestReport {
             stats: search.stats,
             counterexample: violation
                 .map(|v| self.diagnosed(Schedule::from_events(search.path.iter().copied()), v)),
+        };
+        self.publish(&report, &span);
+        report
+    }
+
+    /// Publishes the final [`ExploreStats`] as absolute `crashtest.*`
+    /// counters and records the counterexample (if any) as an event inside
+    /// the exploration span.
+    fn publish(&self, report: &CrashtestReport, span: &rcn_obs::Span) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        self.tracer
+            .set("crashtest.states_visited", report.stats.states_visited);
+        self.tracer.set(
+            "crashtest.depth_limited",
+            u64::from(report.stats.depth_limited),
+        );
+        self.tracer.set(
+            "crashtest.state_capped",
+            u64::from(report.stats.state_capped),
+        );
+        self.tracer.set(
+            "crashtest.counterexamples",
+            u64::from(report.counterexample.is_some()),
+        );
+        if self.tracer.recording() {
+            if let Some(cex) = &report.counterexample {
+                span.event(
+                    "crashtest.counterexample",
+                    i64::try_from(cex.schedule.len()).unwrap_or(i64::MAX),
+                    &cex.violation.to_string(),
+                );
+            }
         }
     }
 
@@ -208,6 +281,12 @@ struct Search<'s> {
     visited: HashMap<(Configuration, Vec<usize>), usize>,
     path: Vec<Event>,
     stats: ExploreStats,
+    /// Live instrument handles (no-ops under a disabled tracer), resolved
+    /// once so the hot loop never touches the registry's lock.
+    events: Counter,
+    memo_hits: Counter,
+    re_explored: Counter,
+    depths: HistogramHandle,
 }
 
 impl Search<'_> {
@@ -257,6 +336,7 @@ impl Search<'_> {
             let mut next = config.clone();
             let effect = self.system.apply(&mut next, event);
             self.stats.events_applied += 1;
+            self.events.incr();
             self.path.push(event);
             if let Some(violation) = effect.violation {
                 return Some(violation);
@@ -275,8 +355,10 @@ impl Search<'_> {
             let explore = match self.visited.get(&key) {
                 Some(&seen) => {
                     if seen >= remaining {
+                        self.memo_hits.incr();
                         false
                     } else {
+                        self.re_explored.incr();
                         self.visited.insert(key.clone(), remaining);
                         true
                     }
@@ -287,6 +369,7 @@ impl Search<'_> {
                         false
                     } else {
                         self.stats.states_visited += 1;
+                        self.depths.observe(depth as u64 + 1);
                         self.visited.insert(key.clone(), remaining);
                         true
                     }
@@ -566,6 +649,64 @@ mod tests {
         )
         .explore();
         assert!(report.is_certified_clean(), "{:?}", report.counterexample);
+    }
+
+    #[test]
+    fn traced_exploration_is_transparent_and_counts_the_search() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let tracer = Tracer::ring(4096);
+        let traced = CrashExplorer::new(&sys, CrashtestConfig::default())
+            .with_tracer(tracer.clone())
+            .explore();
+        let plain = explore(&sys);
+        assert_eq!(traced, plain, "tracing must not perturb the verdict");
+
+        let snap = tracer.snapshot().expect("enabled tracer");
+        assert_eq!(
+            snap.counter("crashtest.events_applied"),
+            Some(traced.stats.events_applied)
+        );
+        assert_eq!(
+            snap.counter("crashtest.states_visited"),
+            Some(traced.stats.states_visited)
+        );
+        assert_eq!(snap.counter("crashtest.counterexamples"), Some(1));
+        // One depth observation per visited state.
+        let depth = snap
+            .histograms
+            .iter()
+            .find(|h| h.name == "crashtest.depth")
+            .expect("depth histogram");
+        assert_eq!(depth.count, traced.stats.states_visited);
+
+        let rows = tracer.ring_events();
+        assert!(rows.iter().any(|r| r.name == "crashtest.explore"));
+        let cex_event = rows
+            .iter()
+            .find(|r| r.name == "crashtest.counterexample")
+            .expect("counterexample event");
+        assert_eq!(
+            cex_event.value,
+            traced.counterexample.as_ref().unwrap().schedule.len() as i64
+        );
+
+        // A clean system is explored exhaustively, so the memo must get
+        // exercised (T&S above unwinds at the first counterexample and may
+        // never revisit a state).
+        let clean_tracer = Tracer::metrics_only();
+        let clean = CrashExplorer::new(
+            &TnnRecoverable::system(5, 2, vec![0, 1]),
+            CrashtestConfig::default(),
+        )
+        .with_tracer(clean_tracer.clone())
+        .explore();
+        assert!(clean.is_certified_clean());
+        let snap = clean_tracer.snapshot().expect("enabled tracer");
+        assert!(
+            snap.counter("crashtest.memo_hits").unwrap_or(0) > 0,
+            "an exhaustive exploration must hit its memo: {snap:?}"
+        );
+        assert_eq!(snap.counter("crashtest.counterexamples"), Some(0));
     }
 
     #[test]

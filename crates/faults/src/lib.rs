@@ -42,13 +42,29 @@ mod shrink;
 
 pub use diagnose::{diagnose, Diagnosis, Divergence};
 pub use explorer::{Counterexample, CrashExplorer, CrashtestConfig, CrashtestReport, ExploreStats};
-pub use replay::{replay, ReplayReport};
-pub use shrink::{shrink_counterexample, shrink_schedule};
+pub use replay::{replay, replay_traced, ReplayReport};
+pub use shrink::{
+    shrink_counterexample, shrink_counterexample_traced, shrink_schedule, shrink_schedule_traced,
+};
 
 use rcn_model::System;
+use rcn_obs::Tracer;
 
 /// One-call crash exploration: runs a [`CrashExplorer`] over `system` with
 /// the given budgets.
 pub fn crashtest(system: &System, config: CrashtestConfig) -> CrashtestReport {
     CrashExplorer::new(system, config).explore()
+}
+
+/// [`crashtest`] with observability: the exploration is bracketed in a
+/// `crashtest.explore` span and the `crashtest.*` counters and depth
+/// histogram are maintained (see [`CrashExplorer::with_tracer`]).
+pub fn crashtest_traced(
+    system: &System,
+    config: CrashtestConfig,
+    tracer: &Tracer,
+) -> CrashtestReport {
+    CrashExplorer::new(system, config)
+        .with_tracer(tracer.clone())
+        .explore()
 }

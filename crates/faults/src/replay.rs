@@ -14,7 +14,8 @@
 //! — there is nowhere left for a model-vs-implementation gap to hide.
 
 use rcn_model::{Execution, ProcessId, Schedule, System, Violation};
-use rcn_runtime::run_schedule;
+use rcn_obs::Tracer;
+use rcn_runtime::run_schedule_traced;
 use std::fmt;
 
 /// The two replays of one schedule, side by side.
@@ -74,20 +75,47 @@ impl fmt::Display for ReplayReport {
 
 /// Replays `schedule` through both executors and compares them.
 pub fn replay(system: &System, schedule: &Schedule) -> ReplayReport {
+    replay_traced(system, schedule, &Tracer::disabled())
+}
+
+/// [`replay`] with observability: brackets both replays in a
+/// `crashtest.replay` span, threads the tracer into the runtime's
+/// [`run_schedule_traced`] (so the threaded side's `runtime.step` /
+/// `runtime.crash` events land in the same trace), and counts confirmed
+/// and diverged comparisons in `crashtest.replays_confirmed` /
+/// `crashtest.replays_diverged`. With a disabled tracer this is exactly
+/// [`replay`].
+pub fn replay_traced(system: &System, schedule: &Schedule, tracer: &Tracer) -> ReplayReport {
+    let span = tracer.span_with(
+        "crashtest.replay",
+        i64::try_from(schedule.len()).unwrap_or(i64::MAX),
+        "",
+    );
     let exec = Execution::record(system, schedule);
     let abstract_violation = system
         .check_initial_outputs(exec.initial())
         .or_else(|| exec.first_violation());
     let abstract_outputs = exec.outputs();
 
-    let threaded = run_schedule(system, schedule);
-    ReplayReport {
+    let threaded = run_schedule_traced(system, schedule, tracer);
+    drop(span);
+    let report = ReplayReport {
         abstract_violation,
         threaded_violation: threaded.violation,
         outputs_match: abstract_outputs == threaded.outputs,
         trace_matches: threaded.trace == *schedule,
         outputs: abstract_outputs,
+    };
+    if report.confirmed() {
+        tracer.add("crashtest.replays_confirmed", 1);
+    } else if !report.outputs_match || !report.trace_matches {
+        // A model-vs-implementation gap — always worth surfacing.
+        tracer.add("crashtest.replays_diverged", 1);
+        if tracer.recording() {
+            tracer.event("crashtest.divergence", 0, &report.to_string());
+        }
     }
+    report
 }
 
 #[cfg(test)]

@@ -14,6 +14,7 @@
 use crate::diagnose::diagnose;
 use crate::explorer::Counterexample;
 use rcn_model::{Event, Schedule, System};
+use rcn_obs::Tracer;
 
 /// Returns `true` if the schedule triggers any violation (not necessarily
 /// the one originally observed — any violation is a valid counterexample).
@@ -29,8 +30,26 @@ fn violates(system: &System, events: &[Event]) -> bool {
 ///
 /// Returns the input unchanged if it does not violate at all.
 pub fn shrink_schedule(system: &System, schedule: &Schedule) -> Schedule {
+    shrink_schedule_traced(system, schedule, &Tracer::disabled())
+}
+
+/// [`shrink_schedule`] with observability: brackets the shrink in a
+/// `crashtest.shrink` span (payload: the input length) and counts every
+/// candidate re-execution in the `crashtest.shrink_iterations` counter.
+/// With a disabled tracer this is exactly [`shrink_schedule`].
+pub fn shrink_schedule_traced(system: &System, schedule: &Schedule, tracer: &Tracer) -> Schedule {
+    let span = tracer.span_with(
+        "crashtest.shrink",
+        i64::try_from(schedule.len()).unwrap_or(i64::MAX),
+        "",
+    );
+    let iterations = tracer.counter("crashtest.shrink_iterations");
+    let violates = |events: &[Event]| {
+        iterations.incr();
+        violates(system, events)
+    };
     let mut events: Vec<Event> = schedule.events().to_vec();
-    if !violates(system, &events) {
+    if !violates(&events) {
         return schedule.clone();
     }
     // Truncation: nothing after the first violating event matters.
@@ -49,7 +68,7 @@ pub fn shrink_schedule(system: &System, schedule: &Schedule) -> Schedule {
             let end = (start + chunk).min(events.len());
             let mut candidate = events.clone();
             candidate.drain(start..end);
-            if violates(system, &candidate) {
+            if violates(&candidate) {
                 events = candidate;
                 reduced = true;
                 // Re-test from the same index: the next chunk slid left.
@@ -64,6 +83,7 @@ pub fn shrink_schedule(system: &System, schedule: &Schedule) -> Schedule {
             chunk = (chunk / 2).max(1);
         }
     }
+    drop(span);
     Schedule::from_events(events)
 }
 
@@ -71,7 +91,17 @@ pub fn shrink_schedule(system: &System, schedule: &Schedule) -> Schedule {
 /// violation kind or diverging process may differ from the original — the
 /// minimal schedule's own diagnosis is the one reported).
 pub fn shrink_counterexample(system: &System, cex: &Counterexample) -> Counterexample {
-    let schedule = shrink_schedule(system, &cex.schedule);
+    shrink_counterexample_traced(system, cex, &Tracer::disabled())
+}
+
+/// [`shrink_counterexample`] with observability (see
+/// [`shrink_schedule_traced`]).
+pub fn shrink_counterexample_traced(
+    system: &System,
+    cex: &Counterexample,
+    tracer: &Tracer,
+) -> Counterexample {
+    let schedule = shrink_schedule_traced(system, &cex.schedule, tracer);
     let diagnosis = diagnose(system, &schedule);
     Counterexample {
         violation: diagnosis

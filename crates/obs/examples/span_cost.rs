@@ -1,0 +1,31 @@
+//! Microbenchmark: cost of one span guard (open + close) per sink.
+//!
+//! Run with `cargo run --release -p rcn-obs --example span_cost`.
+use rcn_obs::Tracer;
+use std::time::Instant;
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(200_000);
+    for mode in ["jsonl", "ring", "metrics", "disabled"] {
+        let t = match mode {
+            "jsonl" => Tracer::to_jsonl(std::env::temp_dir().join("rcn-span-cost.jsonl"))
+                .expect("open trace file"),
+            "ring" => Tracer::ring(1 << 10),
+            "metrics" => Tracer::metrics_only(),
+            _ => Tracer::disabled(),
+        };
+        let start = Instant::now();
+        for i in 0..n {
+            let _s = t.span_with("engine.analysis", i as i64, "scratch");
+        }
+        t.flush().expect("flush");
+        let el = start.elapsed();
+        println!(
+            "{mode:>9}: {:.0} ns/span (open+close)",
+            el.as_nanos() as f64 / n as f64
+        );
+    }
+}

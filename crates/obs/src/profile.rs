@@ -1,0 +1,359 @@
+//! Trace aggregation: turn a JSONL trace back into a per-span time
+//! breakdown (`rcn profile <trace.jsonl>`).
+//!
+//! [`parse_jsonl`] parses every line back into a [`TraceEvent`] (the
+//! schema round-trip the tests pin), and [`ProfileReport::build`] matches
+//! span opens to closes by id, attributing each span's duration to its
+//! name: total time, self time (total minus direct children), call
+//! counts, and exact p50/p99 over the per-call durations.
+
+use crate::trace::{TraceEvent, KIND_CLOSE, KIND_EVENT, KIND_OPEN};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// A malformed trace line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileError {
+    /// 1-based line number of the offending row.
+    pub line: usize,
+    /// What went wrong parsing it.
+    pub message: String,
+}
+
+impl std::fmt::Display for ProfileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ProfileError {}
+
+/// Parses a JSONL trace document: one [`TraceEvent`] per non-empty line.
+///
+/// # Errors
+///
+/// Returns the first line that fails to parse as a `TraceEvent`.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ProfileError> {
+    let mut events = Vec::new();
+    for (index, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(line) {
+            Ok(event) => events.push(event),
+            Err(err) => {
+                return Err(ProfileError {
+                    line: index + 1,
+                    message: err.to_string(),
+                })
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// Aggregated timing for one span name.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileRow {
+    /// The span name.
+    pub name: String,
+    /// Completed open/close pairs.
+    pub calls: u64,
+    /// Summed wall duration of all calls, nanoseconds. Recursive spans
+    /// double-count here (standard flat-profile caveat).
+    pub total_ns: u64,
+    /// Total minus time spent in direct child spans, nanoseconds.
+    pub self_ns: u64,
+    /// Exact median call duration, nanoseconds.
+    pub p50_ns: u64,
+    /// Exact 99th-percentile call duration, nanoseconds.
+    pub p99_ns: u64,
+}
+
+/// The whole breakdown: rows sorted by total time descending, plus trace-
+/// level tallies.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProfileReport {
+    /// Per-span-name aggregates, hottest first.
+    pub rows: Vec<ProfileRow>,
+    /// Trace extent: last timestamp minus first, nanoseconds.
+    pub wall_ns: u64,
+    /// Point events in the trace.
+    pub events: u64,
+    /// Spans opened but never closed (0 in a well-formed trace).
+    pub unclosed: u64,
+}
+
+/// Exact quantile over a sorted slice (nearest-rank on `q * (n-1)`).
+fn quantile_sorted(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    #[allow(clippy::cast_precision_loss, clippy::cast_possible_truncation)]
+    #[allow(clippy::cast_sign_loss)]
+    let index = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[index.min(sorted.len() - 1)]
+}
+
+impl ProfileReport {
+    /// Builds the breakdown from raw trace rows (any order within a
+    /// thread's monotone timestamps; opens matched to closes by id).
+    pub fn build(events: &[TraceEvent]) -> ProfileReport {
+        // id → (name index into `names`, open timestamp, parent id)
+        let mut open: HashMap<u64, (String, u64, u64)> = HashMap::new();
+        // id → nanoseconds spent in the span's *direct* children
+        let mut child_ns: HashMap<u64, u64> = HashMap::new();
+        // name → completed call durations
+        let mut durations: HashMap<String, Vec<u64>> = HashMap::new();
+        let mut point_events = 0u64;
+        let mut t_min = u64::MAX;
+        let mut t_max = 0u64;
+
+        for event in events {
+            t_min = t_min.min(event.t_ns);
+            t_max = t_max.max(event.t_ns);
+            match event.kind.as_str() {
+                KIND_OPEN => {
+                    open.insert(event.id, (event.name.clone(), event.t_ns, event.parent));
+                }
+                KIND_CLOSE => {
+                    if let Some((name, opened, parent)) = open.remove(&event.id) {
+                        let duration = event.t_ns.saturating_sub(opened);
+                        durations.entry(name).or_default().push(duration);
+                        if parent != 0 {
+                            *child_ns.entry(parent).or_default() += duration;
+                        }
+                    }
+                }
+                KIND_EVENT => point_events += 1,
+                _ => {}
+            }
+        }
+
+        // Self time needs per-id child totals re-aggregated by name; walk
+        // the events again so completed ids still map to their names.
+        let mut self_by_name: HashMap<String, u64> = HashMap::new();
+        let mut opened_at: HashMap<u64, (String, u64)> = HashMap::new();
+        for event in events {
+            match event.kind.as_str() {
+                KIND_OPEN => {
+                    opened_at.insert(event.id, (event.name.clone(), event.t_ns));
+                }
+                KIND_CLOSE => {
+                    if let Some((name, opened)) = opened_at.remove(&event.id) {
+                        let duration = event.t_ns.saturating_sub(opened);
+                        let children = child_ns.get(&event.id).copied().unwrap_or(0);
+                        *self_by_name.entry(name).or_default() += duration.saturating_sub(children);
+                    }
+                }
+                _ => {}
+            }
+        }
+
+        let mut rows: Vec<ProfileRow> = durations
+            .into_iter()
+            .map(|(name, mut durs)| {
+                durs.sort_unstable();
+                let total: u64 = durs.iter().sum();
+                ProfileRow {
+                    calls: durs.len() as u64,
+                    total_ns: total,
+                    self_ns: self_by_name.get(&name).copied().unwrap_or(0),
+                    p50_ns: quantile_sorted(&durs, 0.50),
+                    p99_ns: quantile_sorted(&durs, 0.99),
+                    name,
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+
+        ProfileReport {
+            rows,
+            wall_ns: if t_min == u64::MAX { 0 } else { t_max - t_min },
+            events: point_events,
+            unclosed: open.len() as u64,
+        }
+    }
+
+    /// Total time attributed to one span name, if it appears.
+    pub fn total_ns(&self, name: &str) -> Option<u64> {
+        self.rows
+            .iter()
+            .find(|row| row.name == name)
+            .map(|row| row.total_ns)
+    }
+
+    /// Aligned human-readable table, hottest span first, times in
+    /// milliseconds.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        let name_width = self
+            .rows
+            .iter()
+            .map(|row| row.name.len())
+            .max()
+            .unwrap_or(4)
+            .max("span".len());
+        let _ = writeln!(
+            out,
+            "{:name_width$}  {:>8}  {:>12}  {:>12}  {:>10}  {:>10}",
+            "span", "calls", "total_ms", "self_ms", "p50_us", "p99_us"
+        );
+        for row in &self.rows {
+            let _ = writeln!(
+                out,
+                "{:name_width$}  {:>8}  {:>12.3}  {:>12.3}  {:>10.1}  {:>10.1}",
+                row.name,
+                row.calls,
+                ms(row.total_ns),
+                ms(row.self_ns),
+                us(row.p50_ns),
+                us(row.p99_ns),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "\nwall {:.3} ms · {} point events · {} unclosed spans",
+            ms(self.wall_ns),
+            self.events,
+            self.unclosed
+        );
+        out
+    }
+
+    /// The report as one compact JSON object.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("profile reports always serialize")
+    }
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn ms(ns: u64) -> f64 {
+    ns as f64 / 1.0e6
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn us(ns: u64) -> f64 {
+    ns as f64 / 1.0e3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::Tracer;
+
+    fn event(kind: &str, name: &str, id: u64, parent: u64, t_ns: u64) -> TraceEvent {
+        TraceEvent {
+            kind: kind.to_string(),
+            name: name.to_string(),
+            id,
+            parent,
+            thread: 0,
+            t_ns,
+            value: 0,
+            detail: String::new(),
+        }
+    }
+
+    #[test]
+    fn build_attributes_self_and_child_time() {
+        // outer [0, 100] containing inner [10, 40].
+        let rows = vec![
+            event(KIND_OPEN, "outer", 1, 0, 0),
+            event(KIND_OPEN, "inner", 2, 1, 10),
+            event(KIND_CLOSE, "inner", 2, 1, 40),
+            event(KIND_EVENT, "tick", 3, 1, 50),
+            event(KIND_CLOSE, "outer", 1, 0, 100),
+        ];
+        let report = ProfileReport::build(&rows);
+        assert_eq!(report.wall_ns, 100);
+        assert_eq!(report.events, 1);
+        assert_eq!(report.unclosed, 0);
+        assert_eq!(report.rows.len(), 2);
+        let outer = &report.rows[0];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.calls, 1);
+        assert_eq!(outer.total_ns, 100);
+        assert_eq!(outer.self_ns, 70);
+        let inner = &report.rows[1];
+        assert_eq!(inner.total_ns, 30);
+        assert_eq!(inner.self_ns, 30);
+    }
+
+    #[test]
+    fn unclosed_spans_are_counted_not_timed() {
+        let rows = vec![event(KIND_OPEN, "leak", 1, 0, 5)];
+        let report = ProfileReport::build(&rows);
+        assert_eq!(report.unclosed, 1);
+        assert!(report.rows.is_empty());
+    }
+
+    #[test]
+    fn quantiles_are_exact_per_call() {
+        let mut rows = Vec::new();
+        let mut id = 0;
+        let mut clock = 0;
+        for duration in [10u64, 20, 30, 40, 1000] {
+            id += 1;
+            rows.push(event(KIND_OPEN, "op", id, 0, clock));
+            clock += duration;
+            rows.push(event(KIND_CLOSE, "op", id, 0, clock));
+        }
+        let report = ProfileReport::build(&rows);
+        let op = &report.rows[0];
+        assert_eq!(op.calls, 5);
+        assert_eq!(op.p50_ns, 30);
+        assert_eq!(op.p99_ns, 1000);
+    }
+
+    #[test]
+    fn parse_jsonl_round_trips_tracer_output() {
+        let t = Tracer::ring(16);
+        {
+            let _a = t.span_with("a", 1, "x");
+            let _b = t.span("b");
+        }
+        let recorded = t.ring_events();
+        let text: String = recorded
+            .iter()
+            .map(|row| serde_json::to_string(row).unwrap() + "\n")
+            .collect();
+        let parsed = parse_jsonl(&text).expect("round trip");
+        assert_eq!(parsed, recorded);
+        let report = ProfileReport::build(&parsed);
+        assert_eq!(report.unclosed, 0);
+        assert_eq!(report.rows.len(), 2);
+    }
+
+    #[test]
+    fn parse_jsonl_reports_line_numbers() {
+        let err = parse_jsonl("\n{\"bad\": true}\n").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.to_string().contains("trace line 2"));
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let rows = vec![
+            event(KIND_OPEN, "x", 1, 0, 0),
+            event(KIND_CLOSE, "x", 1, 0, 9),
+        ];
+        let report = ProfileReport::build(&rows);
+        let back: ProfileReport = serde_json::from_str(&report.to_json()).expect("parse");
+        assert_eq!(back, report);
+    }
+
+    #[test]
+    fn render_text_has_header_and_footer() {
+        let rows = vec![
+            event(KIND_OPEN, "x", 1, 0, 0),
+            event(KIND_CLOSE, "x", 1, 0, 2_000_000),
+        ];
+        let text = ProfileReport::build(&rows).render_text();
+        assert!(text.contains("span"), "{text}");
+        assert!(text.contains("total_ms"), "{text}");
+        assert!(text.contains("2.000"), "{text}");
+        assert!(text.contains("0 unclosed"), "{text}");
+    }
+}

@@ -1,0 +1,709 @@
+//! The span/event tracing core.
+//!
+//! A [`Tracer`] is a cheaply-cloneable handle (an `Arc` internally) that
+//! the hot layers thread through their seams. It does three things:
+//!
+//! * **spans** — [`Tracer::span`] opens a named region and returns a
+//!   [`Span`] guard; dropping the guard closes it. Spans nest through a
+//!   per-thread stack, carry monotonic timestamps (nanoseconds since the
+//!   tracer's epoch), small per-tracer thread ids, and *deterministic*
+//!   sequence ids (a single atomic counter), so two traces of the same
+//!   sequential run diff cleanly.
+//! * **events** — [`Tracer::event`] records a point-in-time observation
+//!   with an integer payload and a free-form detail string.
+//! * **instruments** — [`Tracer::counter`] / [`Tracer::observe`] feed the
+//!   embedded [`MetricsRegistry`], which survives even when no span sink is
+//!   attached ([`Tracer::metrics_only`]).
+//!
+//! Everything is recorded as flat [`TraceEvent`] rows, either into an
+//! in-memory ring ([`Tracer::ring`]) or an append-only JSONL file
+//! ([`Tracer::to_jsonl`]) — one JSON object per line, parseable back via
+//! the vendored `serde_json` (see [`crate::parse_jsonl`]).
+//!
+//! **Zero-cost when disabled:** [`Tracer::disabled`] holds no allocation at
+//! all; every method is an early-return on a `None`. Instrumented code can
+//! therefore keep a `Tracer` field unconditionally. Observability must
+//! never perturb results — the tracer only ever *reads* the computation it
+//! watches (the transparency tests in the workspace pin this).
+
+use crate::metrics::{Counter, HistogramHandle, MetricsRegistry, MetricsSnapshot};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// One recorded row of a trace: a span open, a span close, or a point
+/// event. The schema is deliberately flat — every field appears in every
+/// row — so JSONL consumers never branch on shape.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// `"open"`, `"close"`, or `"event"`.
+    pub kind: String,
+    /// The span or event name (dotted, `subsystem.what`).
+    pub name: String,
+    /// The span's sequence id (`open` and its matching `close` share it);
+    /// point events get their own fresh id. Ids start at 1; 0 means "no
+    /// span" and only ever appears in `parent`.
+    pub id: u64,
+    /// The enclosing span's id at emission time, or 0 at top level.
+    pub parent: u64,
+    /// Small per-tracer thread id (0 for the first thread seen).
+    pub thread: u64,
+    /// Monotonic nanoseconds since the tracer was created.
+    pub t_ns: u64,
+    /// Integer payload (a level, a byte count, a state count…); 0 when the
+    /// row has none.
+    pub value: i64,
+    /// Free-form label (an outcome, an instance description…); empty when
+    /// the row has none.
+    pub detail: String,
+}
+
+/// Span-open kind tag.
+pub const KIND_OPEN: &str = "open";
+/// Span-close kind tag.
+pub const KIND_CLOSE: &str = "close";
+/// Point-event kind tag.
+pub const KIND_EVENT: &str = "event";
+
+/// Where recorded rows go.
+enum Sink {
+    /// Last-`capacity` rows kept in memory.
+    Ring {
+        buf: Mutex<VecDeque<TraceEvent>>,
+        capacity: usize,
+    },
+    /// Append-only JSONL stream (one JSON object per line).
+    Jsonl(JsonlSink),
+}
+
+/// Staged rows drained to the writer once per [`STAGE_ROWS`] (or on
+/// flush/drop). Staging keeps the hot emit path down to a clock read and a
+/// `Vec` push — the formatting and I/O code runs once per batch instead of
+/// being interleaved with the instrumented computation, where its cache
+/// and branch-predictor footprint measurably slows the surrounding work.
+struct JsonlSink {
+    writer: Mutex<BufWriter<std::fs::File>>,
+    staged: Mutex<Vec<Staged>>,
+}
+
+/// Rows buffered between batch writes; bounds staging memory.
+const STAGE_ROWS: usize = 4096;
+
+/// One not-yet-formatted row. Span and event names are `&'static str` by
+/// API design, so the only owned payload is the detail string.
+struct Staged {
+    kind: &'static str,
+    name: &'static str,
+    id: u64,
+    parent: u64,
+    thread: u64,
+    t_ns: u64,
+    value: i64,
+    detail: Detail,
+}
+
+/// A detail label, inlined when short (almost always) to keep a staged
+/// row allocation-free.
+enum Detail {
+    Inline(u8, [u8; 23]),
+    Heap(Box<str>),
+}
+
+impl Detail {
+    fn new(s: &str) -> Detail {
+        if s.len() <= 23 {
+            let mut buf = [0u8; 23];
+            buf[..s.len()].copy_from_slice(s.as_bytes());
+            Detail::Inline(s.len() as u8, buf)
+        } else {
+            Detail::Heap(Box::from(s))
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Detail::Inline(len, buf) => {
+                std::str::from_utf8(&buf[..*len as usize]).expect("inline detail is utf-8")
+            }
+            Detail::Heap(s) => s,
+        }
+    }
+}
+
+impl JsonlSink {
+    /// Drains staged rows into the writer (formatting happens here, in one
+    /// batch, not on the emit path).
+    fn write_staged(&self) {
+        let mut staged = self.staged.lock().expect("tracer staged rows");
+        if staged.is_empty() {
+            return;
+        }
+        let mut out = String::with_capacity(staged.len() * 112);
+        for row in staged.drain(..) {
+            out.push_str("{\"kind\":\"");
+            out.push_str(row.kind); // the three kind tags never need escaping
+            out.push_str("\",\"name\":");
+            push_json_string(&mut out, row.name);
+            out.push_str(",\"id\":");
+            push_u64(&mut out, row.id);
+            out.push_str(",\"parent\":");
+            push_u64(&mut out, row.parent);
+            out.push_str(",\"thread\":");
+            push_u64(&mut out, row.thread);
+            out.push_str(",\"t_ns\":");
+            push_u64(&mut out, row.t_ns);
+            out.push_str(",\"value\":");
+            push_i64(&mut out, row.value);
+            out.push_str(",\"detail\":");
+            push_json_string(&mut out, row.detail.as_str());
+            out.push_str("}\n");
+        }
+        drop(staged);
+        let mut w = self.writer.lock().expect("tracer jsonl writer");
+        let _ = w.write_all(out.as_bytes());
+    }
+}
+
+struct Inner {
+    epoch: Instant,
+    next_id: AtomicU64,
+    sink: Option<Sink>,
+    metrics: MetricsRegistry,
+    threads: Mutex<HashMap<std::thread::ThreadId, u64>>,
+    next_thread: AtomicU64,
+}
+
+impl Drop for Inner {
+    fn drop(&mut self) {
+        if let Some(Sink::Jsonl(sink)) = &self.sink {
+            sink.write_staged();
+            if let Ok(mut w) = sink.writer.lock() {
+                let _ = w.flush();
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// The per-thread stack of open span ids (spans are strict LIFO
+    /// guards). Shared across tracers on one thread; in practice one
+    /// tracer is live per run, and parentage degrades gracefully if not.
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+
+    /// Memo of this thread's small id for the last tracer it emitted
+    /// through, so the hot emit path skips the registry mutex after the
+    /// first row. The `Weak` pins the `Inner` allocation, making the
+    /// address comparison a sound identity check (no ABA on realloc).
+    static THREAD_ID_CACHE: RefCell<Option<(std::sync::Weak<Inner>, u64)>> =
+        const { RefCell::new(None) };
+}
+
+/// The tracing handle. Clone freely — clones share the same sink, id
+/// counter, and metrics registry.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+impl fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(inner) => write!(
+                f,
+                "Tracer(enabled, sink: {})",
+                match inner.sink {
+                    None => "none",
+                    Some(Sink::Ring { .. }) => "ring",
+                    Some(Sink::Jsonl(_)) => "jsonl",
+                }
+            ),
+        }
+    }
+}
+
+impl Tracer {
+    /// The no-op tracer: no allocation, every operation an early return.
+    /// This is also [`Tracer::default`].
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// A tracer that keeps the most recent `capacity` rows in memory
+    /// (drain with [`ring_events`](Self::ring_events)).
+    pub fn ring(capacity: usize) -> Tracer {
+        Tracer::with_sink(Some(Sink::Ring {
+            buf: Mutex::new(VecDeque::with_capacity(capacity.min(4096))),
+            capacity: capacity.max(1),
+        }))
+    }
+
+    /// A tracer whose metrics registry is live but which records no spans
+    /// or events — for `--metrics` without `--trace`.
+    pub fn metrics_only() -> Tracer {
+        Tracer::with_sink(None)
+    }
+
+    /// A tracer appending JSONL rows to a fresh file at `path` (parent
+    /// directories are created; an existing file is truncated — overwrite
+    /// policy is the caller's, see the CLI's `--force`).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from directory creation or opening the file.
+    pub fn to_jsonl(path: impl AsRef<Path>) -> io::Result<Tracer> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        Ok(Tracer::with_sink(Some(Sink::Jsonl(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            staged: Mutex::new(Vec::with_capacity(STAGE_ROWS)),
+        }))))
+    }
+
+    fn with_sink(sink: Option<Sink>) -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                next_id: AtomicU64::new(0),
+                sink,
+                metrics: MetricsRegistry::new(),
+                threads: Mutex::new(HashMap::new()),
+                next_thread: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// `false` only for [`Tracer::disabled`] — instruments are live.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// `true` when spans/events are actually recorded somewhere (a ring or
+    /// JSONL sink is attached). Use to gate *expensive* detail formatting;
+    /// plain span guards are cheap enough to create unconditionally.
+    pub fn recording(&self) -> bool {
+        self.inner
+            .as_ref()
+            .is_some_and(|inner| inner.sink.is_some())
+    }
+
+    /// Opens a span. Close it by dropping the returned guard (strict LIFO
+    /// per thread). Names are `&'static str` so a span guard never
+    /// allocates — instrumentation points name themselves with literals.
+    pub fn span(&self, name: &'static str) -> Span {
+        self.span_with(name, 0, "")
+    }
+
+    /// Opens a span with an integer payload and a detail label.
+    pub fn span_with(&self, name: &'static str, value: i64, detail: &str) -> Span {
+        let Some(inner) = &self.inner else {
+            return Span {
+                tracer: Tracer::disabled(),
+                id: 0,
+                name: "",
+            };
+        };
+        if inner.sink.is_none() {
+            // Metrics-only: spans cost nothing and record nothing.
+            return Span {
+                tracer: Tracer::disabled(),
+                id: 0,
+                name: "",
+            };
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let parent = stack.last().copied().unwrap_or(0);
+            stack.push(id);
+            parent
+        });
+        self.emit(KIND_OPEN, name, id, parent, value, detail);
+        Span {
+            tracer: self.clone(),
+            id,
+            name,
+        }
+    }
+
+    /// Records a point event.
+    pub fn event(&self, name: &'static str, value: i64, detail: &str) {
+        let Some(inner) = &self.inner else { return };
+        if inner.sink.is_none() {
+            return;
+        }
+        let id = inner.next_id.fetch_add(1, Ordering::Relaxed) + 1;
+        let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(0));
+        self.emit(KIND_EVENT, name, id, parent, value, detail);
+    }
+
+    fn emit(
+        &self,
+        kind: &'static str,
+        name: &'static str,
+        id: u64,
+        parent: u64,
+        value: i64,
+        detail: &str,
+    ) {
+        let Some(inner) = &self.inner else { return };
+        let Some(sink) = &inner.sink else { return };
+        let thread = THREAD_ID_CACHE.with(|cache| {
+            let mut cache = cache.borrow_mut();
+            match cache.as_ref() {
+                Some((weak, id)) if std::ptr::eq(weak.as_ptr(), Arc::as_ptr(inner)) => *id,
+                _ => {
+                    let tid = std::thread::current().id();
+                    let mut map = inner.threads.lock().expect("tracer thread map");
+                    let id = *map
+                        .entry(tid)
+                        .or_insert_with(|| inner.next_thread.fetch_add(1, Ordering::Relaxed));
+                    drop(map);
+                    *cache = Some((Arc::downgrade(inner), id));
+                    id
+                }
+            }
+        });
+        let t_ns = u64::try_from(inner.epoch.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        match sink {
+            Sink::Ring { buf, capacity } => {
+                let row = TraceEvent {
+                    kind: kind.to_string(),
+                    name: name.to_string(),
+                    id,
+                    parent,
+                    thread,
+                    t_ns,
+                    value,
+                    detail: detail.to_string(),
+                };
+                let mut buf = buf.lock().expect("tracer ring");
+                if buf.len() >= *capacity {
+                    buf.pop_front();
+                }
+                buf.push_back(row);
+            }
+            Sink::Jsonl(sink) => {
+                let full = {
+                    let mut staged = sink.staged.lock().expect("tracer staged rows");
+                    staged.push(Staged {
+                        kind,
+                        name,
+                        id,
+                        parent,
+                        thread,
+                        t_ns,
+                        value,
+                        detail: Detail::new(detail),
+                    });
+                    staged.len() >= STAGE_ROWS
+                };
+                if full {
+                    sink.write_staged();
+                }
+            }
+        }
+    }
+
+    fn close_span(&self, id: u64, name: &'static str) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            // Strict LIFO in correct use; search from the top to stay
+            // robust if a guard outlives its parent.
+            if let Some(pos) = stack.iter().rposition(|&open| open == id) {
+                stack.remove(pos);
+            }
+        });
+        let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied().unwrap_or(0));
+        self.emit(KIND_CLOSE, name, id, parent, 0, "");
+    }
+
+    /// A named monotonic counter from the embedded registry; a no-op
+    /// handle when the tracer is disabled. Resolve once outside hot loops.
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            None => Counter::noop(),
+            Some(inner) => inner.metrics.counter(name),
+        }
+    }
+
+    /// Adds `delta` to the named counter (a one-shot convenience for cold
+    /// paths; use [`counter`](Self::counter) handles in loops).
+    pub fn add(&self, name: &str, delta: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).add(delta);
+        }
+    }
+
+    /// Sets the named counter to an absolute value (for publishing an
+    /// already-aggregated snapshot, e.g. `SearchStats`).
+    pub fn set(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.counter(name).set(value);
+        }
+    }
+
+    /// A named histogram from the embedded registry; no-op when disabled.
+    pub fn histogram(&self, name: &str) -> HistogramHandle {
+        match &self.inner {
+            None => HistogramHandle::noop(),
+            Some(inner) => inner.metrics.histogram(name),
+        }
+    }
+
+    /// Records one observation into the named histogram.
+    pub fn observe(&self, name: &str, value: u64) {
+        if let Some(inner) = &self.inner {
+            inner.metrics.histogram(name).observe(value);
+        }
+    }
+
+    /// A point-in-time snapshot of the metrics registry (`None` when the
+    /// tracer is disabled).
+    pub fn snapshot(&self) -> Option<MetricsSnapshot> {
+        self.inner.as_ref().map(|inner| inner.metrics.snapshot())
+    }
+
+    /// Drains and returns the ring buffer's rows (empty for other sinks).
+    pub fn ring_events(&self) -> Vec<TraceEvent> {
+        match self.inner.as_ref().map(|inner| &inner.sink) {
+            Some(Some(Sink::Ring { buf, .. })) => {
+                buf.lock().expect("tracer ring").drain(..).collect()
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Flushes a JSONL sink to disk (no-op otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O error from the underlying writer.
+    pub fn flush(&self) -> io::Result<()> {
+        if let Some(inner) = &self.inner {
+            if let Some(Sink::Jsonl(sink)) = &inner.sink {
+                sink.write_staged();
+                sink.writer.lock().expect("tracer jsonl writer").flush()?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// An open span; dropping it emits the matching close row. Obtained from
+/// [`Tracer::span`]. Spans must close in LIFO order per thread (guard
+/// scoping gives this for free).
+pub struct Span {
+    tracer: Tracer,
+    id: u64,
+    name: &'static str,
+}
+
+impl Span {
+    /// The span's sequence id (0 for a disabled tracer's no-op span).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Records a point event inside this span (same as calling
+    /// [`Tracer::event`] while the span is open on this thread).
+    pub fn event(&self, name: &'static str, value: i64, detail: &str) {
+        self.tracer.event(name, value, detail);
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if self.id != 0 {
+            self.tracer.close_span(self.id, self.name);
+        }
+    }
+}
+
+/// Appends `v` in decimal without going through `fmt` (which dominates the
+/// cost of a row at trace rates).
+fn push_u64(out: &mut String, mut v: u64) {
+    let mut digits = [0u8; 20];
+    let mut i = digits.len();
+    loop {
+        i -= 1;
+        digits[i] = b'0' + (v % 10) as u8;
+        v /= 10;
+        if v == 0 {
+            break;
+        }
+    }
+    out.push_str(std::str::from_utf8(&digits[i..]).expect("ascii digits"));
+}
+
+/// Appends `v` in decimal (see [`push_u64`]).
+fn push_i64(out: &mut String, v: i64) {
+    if v < 0 {
+        out.push('-');
+    }
+    push_u64(out, v.unsigned_abs());
+}
+
+/// Appends `s` as a JSON string literal (quotes included) to `out`.
+///
+/// Matches `serde_json`'s escaping: the two mandatory escapes, the short
+/// forms for the common control characters, and `\u00XX` for the rest.
+fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    if s.bytes().all(|b| b != b'"' && b != b'\\' && b >= 0x20) {
+        // Fast path: nothing to escape (true of every built-in span and
+        // counter name and almost every detail string).
+        out.push_str(s);
+        out.push('"');
+        return;
+    }
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                use fmt::Write as _;
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_tracer_is_inert() {
+        let t = Tracer::disabled();
+        assert!(!t.enabled());
+        assert!(!t.recording());
+        let span = t.span_with("x", 7, "d");
+        assert_eq!(span.id(), 0);
+        t.event("e", 1, "");
+        t.add("c", 5);
+        t.observe("h", 3);
+        assert!(t.snapshot().is_none());
+        assert!(t.ring_events().is_empty());
+        t.flush().unwrap();
+    }
+
+    #[test]
+    fn ring_records_nested_spans_with_parents() {
+        let t = Tracer::ring(64);
+        {
+            let _outer = t.span("outer");
+            t.event("tick", 42, "x");
+            {
+                let _inner = t.span_with("inner", 3, "lvl");
+            }
+        }
+        let rows = t.ring_events();
+        assert_eq!(rows.len(), 5, "{rows:?}");
+        assert_eq!(rows[0].kind, KIND_OPEN);
+        assert_eq!(rows[0].name, "outer");
+        assert_eq!(rows[0].parent, 0);
+        assert_eq!(rows[1].name, "tick");
+        assert_eq!(rows[1].parent, rows[0].id);
+        assert_eq!(rows[1].value, 42);
+        assert_eq!(rows[2].kind, KIND_OPEN);
+        assert_eq!(rows[2].name, "inner");
+        assert_eq!(rows[2].parent, rows[0].id);
+        assert_eq!(rows[2].value, 3);
+        assert_eq!(rows[3].kind, KIND_CLOSE);
+        assert_eq!(rows[3].id, rows[2].id);
+        assert_eq!(rows[4].kind, KIND_CLOSE);
+        assert_eq!(rows[4].id, rows[0].id);
+        // Timestamps are monotone, ids deterministic from 1.
+        assert!(rows.windows(2).all(|w| w[0].t_ns <= w[1].t_ns));
+        assert_eq!(rows[0].id, 1);
+    }
+
+    #[test]
+    fn ring_capacity_drops_oldest() {
+        let t = Tracer::ring(2);
+        t.event("a", 0, "");
+        t.event("b", 0, "");
+        t.event("c", 0, "");
+        let names: Vec<_> = t.ring_events().into_iter().map(|r| r.name).collect();
+        assert_eq!(names, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn metrics_only_counts_without_recording() {
+        let t = Tracer::metrics_only();
+        assert!(t.enabled());
+        assert!(!t.recording());
+        let c = t.counter("work");
+        c.add(2);
+        c.add(3);
+        t.observe("sizes", 100);
+        let snap = t.snapshot().unwrap();
+        assert_eq!(snap.counter("work"), Some(5));
+        assert_eq!(snap.histograms.len(), 1);
+        // Spans/events silently vanish.
+        let _s = t.span("quiet");
+        t.event("quiet", 0, "");
+        assert!(t.ring_events().is_empty());
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde() {
+        let dir = std::env::temp_dir().join(format!("rcn-obs-trace-{}", std::process::id()));
+        let path = dir.join("t.jsonl");
+        let t = Tracer::to_jsonl(&path).unwrap();
+        {
+            let _s = t.span_with("alpha", 1, "one");
+            t.event("beta", -2, "two \"quoted\"");
+            t.event("gamma", 3, "tab\t newline\n back\\slash \u{1} ünïcode");
+        }
+        t.flush().unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let rows: Vec<TraceEvent> = text
+            .lines()
+            .map(|line| serde_json::from_str(line).expect("every line parses"))
+            .collect();
+        assert_eq!(rows.len(), 4);
+        assert_eq!(rows[1].value, -2);
+        assert_eq!(rows[1].detail, "two \"quoted\"");
+        assert_eq!(rows[2].detail, "tab\t newline\n back\\slash \u{1} ünïcode");
+        assert_eq!(rows[3].kind, KIND_CLOSE);
+        // The hand-rendered rows match the derive-based serializer exactly.
+        for (line, row) in text.lines().zip(&rows) {
+            assert_eq!(line, serde_json::to_string(row).unwrap());
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn thread_ids_are_small_and_distinct() {
+        let t = Tracer::ring(16);
+        t.event("main", 0, "");
+        std::thread::scope(|scope| {
+            let t2 = t.clone();
+            scope.spawn(move || t2.event("worker", 0, ""));
+        });
+        let rows = t.ring_events();
+        assert_eq!(rows.len(), 2);
+        assert_ne!(rows[0].thread, rows[1].thread);
+        assert!(rows.iter().all(|r| r.thread < 2));
+    }
+}

@@ -16,6 +16,12 @@
 //! exact but explicit-state; the runtime exercises true parallelism, large
 //! process counts, and timing-dependent interleavings.
 //!
+//! Both entry points have `_traced` variants ([`run_threaded_traced`],
+//! [`run_schedule_traced`]) that accept an [`rcn_obs::Tracer`] and emit
+//! `runtime.step` / `runtime.crash` / `runtime.watchdog` events plus
+//! `runtime.*` counters; the untraced forms delegate with a disabled
+//! tracer and cost nothing extra.
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -35,5 +41,5 @@ mod runner;
 mod scheduled;
 
 pub use nvheap::NvHeap;
-pub use runner::{run_threaded, ProcessStats, RunOptions, RunReport};
-pub use scheduled::{run_schedule, ScheduleReport};
+pub use runner::{run_threaded, run_threaded_traced, ProcessStats, RunOptions, RunReport};
+pub use scheduled::{run_schedule, run_schedule_traced, ScheduleReport};

@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rcn_model::{Action, Event, ProcessId, Schedule, System};
+use rcn_obs::Tracer;
 use std::fmt;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -142,6 +143,20 @@ impl fmt::Display for RunReport {
 /// assert!(report.is_clean_consensus());
 /// ```
 pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
+    run_threaded_traced(system, options, &Tracer::disabled())
+}
+
+/// [`run_threaded`] with observability: brackets the run in a
+/// `runtime.run` span, emits a `runtime.watchdog` event from any worker
+/// the deadline aborts, and adds the run's totals to the `runtime.steps`
+/// and `runtime.crashes` counters. With a disabled tracer this is exactly
+/// [`run_threaded`].
+pub fn run_threaded_traced(system: &System, options: RunOptions, tracer: &Tracer) -> RunReport {
+    let run_span = tracer.span_with(
+        "runtime.run",
+        i64::try_from(system.n()).unwrap_or(i64::MAX),
+        &format!("seed={}", options.seed),
+    );
     let heap = Arc::new(NvHeap::new(system.layout_arc()));
     let stats: Vec<Mutex<ProcessStats>> = (0..system.n())
         .map(|_| Mutex::new(ProcessStats::default()))
@@ -167,6 +182,7 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
                     trace,
                     deadline,
                     timed_out,
+                    tracer,
                 );
             });
         }
@@ -174,6 +190,11 @@ pub fn run_threaded(system: &System, options: RunOptions) -> RunReport {
     .expect("worker threads join");
 
     let processes: Vec<ProcessStats> = stats.into_iter().map(|m| m.into_inner()).collect();
+    let total_steps: usize = processes.iter().map(|p| p.steps).sum();
+    let total_crashes: usize = processes.iter().map(|p| p.crashes).sum();
+    tracer.add("runtime.steps", total_steps as u64);
+    tracer.add("runtime.crashes", total_crashes as u64);
+    drop(run_span);
     let decisions: Vec<u32> = processes.iter().filter_map(|p| p.decision).collect();
     let mut distinct = decisions.clone();
     distinct.sort_unstable();
@@ -198,6 +219,7 @@ fn run_worker(
     trace: Option<&Mutex<Vec<Event>>>,
     deadline: Option<Instant>,
     timed_out: &AtomicBool,
+    tracer: &Tracer,
 ) {
     let program = system.program();
     let input = system.inputs()[pid.index()];
@@ -215,6 +237,11 @@ fn run_worker(
         if let Some(deadline) = deadline {
             if steps.is_multiple_of(64) && Instant::now() >= deadline {
                 timed_out.store(true, Ordering::Relaxed);
+                tracer.event(
+                    "runtime.watchdog",
+                    i64::try_from(steps).unwrap_or(i64::MAX),
+                    &pid.to_string(),
+                );
                 break;
             }
         }
@@ -366,6 +393,34 @@ mod tests {
         let report = run_threaded(&sys, RunOptions::default());
         assert!(report.is_clean_consensus(), "{report}");
         assert!(!report.timed_out);
+    }
+
+    #[test]
+    fn traced_run_emits_watchdog_event_and_counters() {
+        let tracer = Tracer::ring(64);
+        let report = run_threaded_traced(
+            &spinner_system(),
+            RunOptions {
+                max_steps: 0,
+                crash_prob: 0.0,
+                jitter: false,
+                watchdog: Some(Duration::from_millis(100)),
+                ..Default::default()
+            },
+            &tracer,
+        );
+        assert!(report.timed_out, "{report}");
+        let rows = tracer.ring_events();
+        assert!(
+            rows.iter().any(|r| r.name == "runtime.watchdog"),
+            "{rows:?}"
+        );
+        assert!(rows.iter().any(|r| r.name == "runtime.run"));
+        let snap = tracer.snapshot().expect("enabled tracer");
+        assert_eq!(
+            snap.counter("runtime.steps"),
+            Some(report.total_steps() as u64)
+        );
     }
 
     #[test]

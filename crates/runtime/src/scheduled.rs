@@ -20,6 +20,7 @@
 
 use crate::nvheap::NvHeap;
 use rcn_model::{Action, Event, ProcessId, Schedule, System, Violation};
+use rcn_obs::Tracer;
 use std::sync::{Condvar, Mutex};
 
 /// The result of replaying a fixed schedule on real threads.
@@ -113,6 +114,24 @@ fn check_output(
 /// assert!(report.violation.is_none());
 /// ```
 pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
+    run_schedule_traced(system, schedule, &Tracer::disabled())
+}
+
+/// [`run_schedule`] with observability: brackets the replay in a
+/// `runtime.replay` span, emits a `runtime.step` / `runtime.crash` event
+/// per scheduled event (from the worker thread that executed it, so the
+/// trace records real thread ids), and maintains the `runtime.steps`,
+/// `runtime.crashes`, and `runtime.outputs` counters. With a disabled
+/// tracer this is exactly [`run_schedule`].
+///
+/// # Panics
+///
+/// Panics if the schedule names a process id `>= system.n()`.
+pub fn run_schedule_traced(
+    system: &System,
+    schedule: &Schedule,
+    tracer: &Tracer,
+) -> ScheduleReport {
     let n = system.n();
     for event in schedule.iter() {
         assert!(
@@ -136,6 +155,14 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
     });
     let turn = Condvar::new();
 
+    let replay_span = tracer.span_with(
+        "runtime.replay",
+        i64::try_from(events.len()).unwrap_or(i64::MAX),
+        &format!("n={n}"),
+    );
+    let steps = tracer.counter("runtime.steps");
+    let crashes = tracer.counter("runtime.crashes");
+
     std::thread::scope(|scope| {
         for i in 0..n {
             let pid = ProcessId(i as u16);
@@ -143,6 +170,8 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
             let events = &events;
             let shared = &shared;
             let turn = &turn;
+            let steps = &steps;
+            let crashes = &crashes;
             scope.spawn(move || {
                 let program = system.program();
                 let input = system.inputs()[pid.index()];
@@ -158,6 +187,14 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
                     let event = events[guard.cursor];
                     match event {
                         Event::Crash(_) => {
+                            crashes.incr();
+                            if tracer.recording() {
+                                tracer.event(
+                                    "runtime.crash",
+                                    guard.cursor as i64,
+                                    &pid.to_string(),
+                                );
+                            }
                             // Volatile state dies; the heap persists. A
                             // recovery into an output state re-outputs.
                             state = program.initial_state(pid, input);
@@ -165,18 +202,24 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
                                 guard.record_output(system, pid, v);
                             }
                         }
-                        Event::Step(_) => match program.action(pid, &state) {
-                            Action::Output(_) => {
-                                // A step in an output state is a no-op.
+                        Event::Step(_) => {
+                            steps.incr();
+                            if tracer.recording() {
+                                tracer.event("runtime.step", guard.cursor as i64, &pid.to_string());
                             }
-                            Action::Invoke { object, op } => {
-                                let out = heap.apply(object, op);
-                                state = program.transition(pid, &state, out.response);
-                                if let Action::Output(v) = program.action(pid, &state) {
-                                    guard.record_output(system, pid, v);
+                            match program.action(pid, &state) {
+                                Action::Output(_) => {
+                                    // A step in an output state is a no-op.
+                                }
+                                Action::Invoke { object, op } => {
+                                    let out = heap.apply(object, op);
+                                    state = program.transition(pid, &state, out.response);
+                                    if let Action::Output(v) = program.action(pid, &state) {
+                                        guard.record_output(system, pid, v);
+                                    }
                                 }
                             }
-                        },
+                        }
                     }
                     guard.trace.push(event);
                     guard.cursor += 1;
@@ -187,6 +230,11 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
     });
 
     let shared = shared.into_inner().expect("replay shared state");
+    tracer.add(
+        "runtime.outputs",
+        u64::try_from(shared.outputs.len()).unwrap_or(0),
+    );
+    drop(replay_span);
     ScheduleReport {
         trace: Schedule::from_events(shared.trace),
         outputs: shared.outputs,
@@ -199,6 +247,7 @@ pub fn run_schedule(system: &System, schedule: &Schedule) -> ScheduleReport {
 mod tests {
     use super::*;
     use rcn_model::Execution;
+    use rcn_obs::{KIND_CLOSE, KIND_OPEN};
     use rcn_protocols::{TasConsensus, TnnRecoverable};
 
     #[test]
@@ -233,5 +282,42 @@ mod tests {
     fn out_of_range_process_ids_are_rejected() {
         let sys = TasConsensus::system(vec![0, 1]);
         run_schedule(&sys, &"p7".parse().unwrap());
+    }
+
+    #[test]
+    fn traced_replay_records_events_and_counters() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let schedule: Schedule = "p0 p0 c0 p1 p1 p0 p0 p0 p1 p1".parse().unwrap();
+        let tracer = Tracer::ring(256);
+        let traced = run_schedule_traced(&sys, &schedule, &tracer);
+        let plain = run_schedule(&sys, &schedule);
+        // Tracing must be transparent: identical report either way.
+        assert_eq!(traced.trace, plain.trace);
+        assert_eq!(traced.outputs, plain.outputs);
+        assert_eq!(traced.decisions, plain.decisions);
+        assert_eq!(traced.violation, plain.violation);
+
+        let rows = tracer.ring_events();
+        let steps = rows.iter().filter(|r| r.name == "runtime.step").count();
+        let crashes = rows.iter().filter(|r| r.name == "runtime.crash").count();
+        assert_eq!(steps, 9, "{rows:?}");
+        assert_eq!(crashes, 1, "{rows:?}");
+        let opens = rows
+            .iter()
+            .filter(|r| r.kind == KIND_OPEN && r.name == "runtime.replay")
+            .count();
+        let closes = rows
+            .iter()
+            .filter(|r| r.kind == KIND_CLOSE && r.name == "runtime.replay")
+            .count();
+        assert_eq!((opens, closes), (1, 1));
+
+        let snap = tracer.snapshot().expect("enabled tracer");
+        assert_eq!(snap.counter("runtime.steps"), Some(9));
+        assert_eq!(snap.counter("runtime.crashes"), Some(1));
+        assert_eq!(
+            snap.counter("runtime.outputs"),
+            Some(traced.outputs.len() as u64)
+        );
     }
 }
