@@ -1,0 +1,433 @@
+//! Cross-checker lints (`RCN2xx`): differential second opinions.
+//!
+//! Every other lint in this crate checks a *hypothesis*; these lints check
+//! the *checkers*. Two structurally independent engines answer the same
+//! question — `rcn-faults`' memoized DFS vs `rcn-mc`'s breadth-first
+//! search for crash-divergence verdicts, `rcn-valency`'s budgeted graph vs
+//! `rcn-mc`'s worklist fixpoint for valency facts — and any disagreement
+//! is a hard error: one of the engines (we do not know which) has an
+//! unsound pruning, a semantics drift, or a budget bug. Agreement is
+//! surfaced as an `Info` certificate carrying both sides' search effort.
+//!
+//! Codes:
+//!
+//! * `RCN200` — DFS explorer and BFS checker disagree on whether an
+//!   in-budget violating schedule exists (error).
+//! * `RCN201` — decider-stack valency and checker valency disagree on the
+//!   initial configuration (error).
+//! * `RCN202` — a budget clipped one side before the cross-check could be
+//!   exhaustive; the comparison is skipped rather than trusted (warning).
+//!   Emitted by the `RCN200`/`RCN201` lints, which own the budgets.
+//! * `RCN203` — the checker's counterexample schedule fails the
+//!   abstract↔threaded replay bridge (error): a schedule only one
+//!   executor believes in is not a counterexample, it is a bug report.
+//!
+//! The cross-lints only run on programs whose exploration found no
+//! totality panics: executing a program that panics on feasible responses
+//! (`RCN102`) would abort the lint run itself.
+
+use crate::diag::{Diagnostic, Locus, Report, Severity};
+use crate::explore::{ExploreConfig, ProcessGraph};
+use crate::lint::ProgramLint;
+use rcn_model::{Schedule, System};
+
+fn subject(sys: &System) -> String {
+    sys.program().name()
+}
+
+/// `true` if the program can be executed without tripping a totality
+/// panic (the gate for every cross-lint).
+fn executable(graphs: &[ProcessGraph]) -> bool {
+    graphs.iter().all(|g| g.panics.is_empty())
+}
+
+/// Pushes the `RCN200` comparison of a DFS crashtest report and a BFS
+/// checker report (both already exhaustive at the same budget): an error
+/// on verdict divergence, an `Info` certificate on agreement. Public so
+/// divergences can be synthesized and their rendering pinned in tests.
+pub fn compare_crashtest_verdicts(
+    subject: &str,
+    budget: &str,
+    dfs: &rcn_faults::CrashtestReport,
+    bfs: &rcn_mc::McReport,
+    report: &mut Report,
+) {
+    let dfs_effort = format!(
+        "dfs: {} states, {} events, {} memo hits, {} re-explored",
+        dfs.stats.states_visited,
+        dfs.stats.events_applied,
+        dfs.stats.memo_hits,
+        dfs.stats.re_explored
+    );
+    let bfs_effort = format!(
+        "bfs: {} states, {} events, frontier peak {}, dedup {:.0}%",
+        bfs.stats.states_visited,
+        bfs.stats.events_applied,
+        bfs.stats.frontier_peak,
+        bfs.stats.dedup_ratio() * 100.0
+    );
+    match (&dfs.counterexample, &bfs.counterexample) {
+        (Some(_), None) => report.push(
+            Diagnostic::new(
+                "RCN200",
+                Severity::Error,
+                Locus::program(subject),
+                format!(
+                    "differential divergence at {budget}: the DFS explorer finds a violating \
+                     schedule but the BFS checker certifies clean ({dfs_effort}; {bfs_effort})"
+                ),
+            )
+            .with_suggestion(
+                "one engine has an unsound pruning or a semantics drift; \
+                 rerun `rcn check` and `rcn crashtest` at this budget and diff the schedules",
+            ),
+        ),
+        (None, Some(cex)) => report.push(
+            Diagnostic::new(
+                "RCN200",
+                Severity::Error,
+                Locus::program(subject),
+                format!(
+                    "differential divergence at {budget}: the BFS checker finds `{}` but the \
+                     DFS explorer certifies clean ({dfs_effort}; {bfs_effort})",
+                    cex.schedule
+                ),
+            )
+            .with_suggestion(
+                "one engine has an unsound pruning or a semantics drift; \
+                 rerun `rcn check` and `rcn crashtest` at this budget and diff the schedules",
+            ),
+        ),
+        (dfs_cex, _) => {
+            let verdict = match dfs_cex {
+                Some(_) => "both find a violating schedule",
+                None => "both certify clean",
+            };
+            report.push(Diagnostic::new(
+                "RCN200",
+                Severity::Info,
+                Locus::program(subject),
+                format!("differential crashtest agrees at {budget}: {verdict} ({dfs_effort}; {bfs_effort})"),
+            ));
+        }
+    }
+}
+
+/// Pushes the `RCN201` comparison of two already-exhaustive valency
+/// verdicts (rendered in the shared `bivalent` / `{v}-univalent` /
+/// `undetermined` vocabulary): an error on disagreement, an `Info`
+/// certificate on agreement. Public for the same pinning reason as
+/// [`compare_crashtest_verdicts`].
+pub fn compare_valency_verdicts(
+    subject: &str,
+    budget: &str,
+    decider: &str,
+    checker: &str,
+    report: &mut Report,
+) {
+    if decider == checker {
+        report.push(Diagnostic::new(
+            "RCN201",
+            Severity::Info,
+            Locus::program(subject),
+            format!("differential valency agrees at {budget}: initial configuration is {decider}"),
+        ));
+    } else {
+        report.push(
+            Diagnostic::new(
+                "RCN201",
+                Severity::Error,
+                Locus::program(subject),
+                format!(
+                    "differential divergence at {budget}: the decider stack says the initial \
+                     configuration is {decider}, the BFS checker says {checker}"
+                ),
+            )
+            .with_suggestion(
+                "the budgeted-graph and worklist valency fixpoints disagree on identical \
+                 budgets; one reachability computation is wrong",
+            ),
+        );
+    }
+}
+
+/// Replays `schedule` through both the abstract executor and the threaded
+/// runtime and pushes the `RCN203` verdict: an error when the bridge does
+/// not confirm the same violation and outputs on both sides, an `Info`
+/// certificate when it does. Public so the non-confirming case can be
+/// exercised with a schedule that is not a counterexample.
+pub fn check_replay_bridge(subject: &str, sys: &System, schedule: &Schedule, report: &mut Report) {
+    let replay = rcn_faults::replay(sys, schedule);
+    if replay.confirmed() {
+        report.push(Diagnostic::new(
+            "RCN203",
+            Severity::Info,
+            Locus::program(subject),
+            format!(
+                "checker counterexample `{schedule}` confirmed by the abstract↔threaded \
+                 replay bridge"
+            ),
+        ));
+    } else {
+        report.push(
+            Diagnostic::new(
+                "RCN203",
+                Severity::Error,
+                Locus::program(subject),
+                format!(
+                    "checker counterexample `{schedule}` fails the abstract↔threaded replay \
+                     bridge ({replay})"
+                ),
+            )
+            .with_suggestion(
+                "a schedule only one executor believes in is not a counterexample; \
+                 diff the two replays with `rcn crashtest --replay`",
+            ),
+        );
+    }
+}
+
+fn budget_warn(subject: &str, code: &'static str, what: &str, report: &mut Report) {
+    report.push(
+        Diagnostic::new(
+            "RCN202",
+            Severity::Warn,
+            Locus::program(subject),
+            format!("cross-check budget too small: {what}; the {code} comparison was skipped"),
+        )
+        .with_suggestion("raise the cross-check state budget or shrink the instance"),
+    );
+}
+
+/// `RCN200`/`RCN202` — differential crashtest: DFS explorer vs BFS
+/// checker at one shared budget.
+pub struct CrossCrashtest {
+    /// Per-process crash budget for both engines.
+    pub max_crashes: usize,
+    /// Schedule-length cap for both engines.
+    pub max_depth: usize,
+    /// State cap for both engines; clipping either side downgrades the
+    /// comparison to an `RCN202` warning.
+    pub max_states: usize,
+}
+
+impl Default for CrossCrashtest {
+    fn default() -> Self {
+        CrossCrashtest {
+            max_crashes: 1,
+            max_depth: 10,
+            max_states: 200_000,
+        }
+    }
+}
+
+impl CrossCrashtest {
+    fn budget_label(&self) -> String {
+        format!("crashes={}, depth={}", self.max_crashes, self.max_depth)
+    }
+}
+
+impl ProgramLint for CrossCrashtest {
+    fn code(&self) -> &'static str {
+        "RCN200"
+    }
+    fn name(&self) -> &'static str {
+        "differential-crashtest"
+    }
+    fn description(&self) -> &'static str {
+        "DFS explorer and BFS checker must agree on crash-divergence verdicts"
+    }
+    fn check(
+        &self,
+        sys: &System,
+        graphs: &[ProcessGraph],
+        _cfg: &ExploreConfig,
+        report: &mut Report,
+    ) {
+        if !executable(graphs) {
+            return;
+        }
+        let subject = subject(sys);
+        let dfs = rcn_faults::crashtest(
+            sys,
+            rcn_faults::CrashtestConfig {
+                max_crashes: self.max_crashes,
+                max_depth: self.max_depth,
+                max_states: self.max_states,
+            },
+        );
+        let bfs = rcn_mc::model_check(
+            sys,
+            rcn_mc::McConfig {
+                max_crashes: self.max_crashes,
+                max_depth: self.max_depth,
+                max_states: self.max_states,
+            },
+        );
+        // A violation verdict is budget-exact on both sides; only a clean
+        // verdict needs exhaustiveness to be comparable.
+        let dfs_conclusive = dfs.counterexample.is_some() || dfs.stats.exhaustive();
+        let bfs_conclusive =
+            bfs.counterexample.is_some() || bfs.coverage == rcn_mc::Coverage::Exhaustive;
+        if !dfs_conclusive || !bfs_conclusive {
+            budget_warn(
+                &subject,
+                "RCN200",
+                &format!(
+                    "state cap {} clipped the {} search",
+                    self.max_states,
+                    if dfs_conclusive { "BFS" } else { "DFS" }
+                ),
+                report,
+            );
+            return;
+        }
+        compare_crashtest_verdicts(&subject, &self.budget_label(), &dfs, &bfs, report);
+    }
+}
+
+/// `RCN201`/`RCN202` — differential valency: the decider stack's budgeted
+/// graph vs the checker's worklist fixpoint at one shared `E_z*` budget.
+pub struct CrossValency {
+    /// The paper's budget multiplier `z` for both engines.
+    pub z: usize,
+    /// The allowance clamp for both engines.
+    pub clamp: u16,
+    /// State cap for both engines; clipping either side downgrades the
+    /// comparison to an `RCN202` warning.
+    pub max_states: usize,
+}
+
+impl Default for CrossValency {
+    fn default() -> Self {
+        CrossValency {
+            z: 1,
+            clamp: 2,
+            max_states: 60_000,
+        }
+    }
+}
+
+impl ProgramLint for CrossValency {
+    fn code(&self) -> &'static str {
+        "RCN201"
+    }
+    fn name(&self) -> &'static str {
+        "differential-valency"
+    }
+    fn description(&self) -> &'static str {
+        "decider-stack and BFS-checker valency verdicts must agree"
+    }
+    fn check(
+        &self,
+        sys: &System,
+        graphs: &[ProcessGraph],
+        _cfg: &ExploreConfig,
+        report: &mut Report,
+    ) {
+        if !executable(graphs) {
+            return;
+        }
+        let subject = subject(sys);
+        let budget = format!("z={}, clamp={}", self.z, self.clamp);
+        let decider =
+            match rcn_valency::BudgetedGraph::explore(sys, self.z, self.clamp, self.max_states) {
+                Ok(graph) => graph.initial_valency().to_string(),
+                Err(rcn_valency::ExploreError::TooLarge { limit }) => {
+                    budget_warn(
+                        &subject,
+                        "RCN201",
+                        &format!("the budgeted `E_z*` graph exceeds {limit} states"),
+                        report,
+                    );
+                    return;
+                }
+            };
+        let checker = rcn_mc::valency_check(
+            sys,
+            rcn_mc::ValencyConfig {
+                z: self.z,
+                clamp: self.clamp,
+                max_states: self.max_states,
+            },
+        );
+        if checker.coverage != rcn_mc::Coverage::Exhaustive {
+            budget_warn(
+                &subject,
+                "RCN201",
+                &format!("state cap {} clipped the checker's graph", self.max_states),
+                report,
+            );
+            return;
+        }
+        compare_valency_verdicts(
+            &subject,
+            &budget,
+            &decider,
+            &checker.valency.to_string(),
+            report,
+        );
+    }
+}
+
+/// `RCN203` — every counterexample the BFS checker reports must survive
+/// the abstract↔threaded replay bridge.
+pub struct ReplayBridge {
+    /// Per-process crash budget for the checker run.
+    pub max_crashes: usize,
+    /// Schedule-length cap for the checker run.
+    pub max_depth: usize,
+    /// State cap for the checker run (a clipped clean run emits nothing:
+    /// there is no schedule to bridge).
+    pub max_states: usize,
+}
+
+impl Default for ReplayBridge {
+    fn default() -> Self {
+        let c = CrossCrashtest::default();
+        ReplayBridge {
+            max_crashes: c.max_crashes,
+            max_depth: c.max_depth,
+            max_states: c.max_states,
+        }
+    }
+}
+
+impl ProgramLint for ReplayBridge {
+    fn code(&self) -> &'static str {
+        "RCN203"
+    }
+    fn name(&self) -> &'static str {
+        "replay-bridge"
+    }
+    fn description(&self) -> &'static str {
+        "checker counterexamples must replay identically on both executors"
+    }
+    fn check(
+        &self,
+        sys: &System,
+        graphs: &[ProcessGraph],
+        _cfg: &ExploreConfig,
+        report: &mut Report,
+    ) {
+        if !executable(graphs) {
+            return;
+        }
+        // The bridge needs real threaded execution; systems built with
+        // `new_unchecked` carry no consensus contract to confirm.
+        if !sys.is_consensus_checked() {
+            return;
+        }
+        let bfs = rcn_mc::model_check(
+            sys,
+            rcn_mc::McConfig {
+                max_crashes: self.max_crashes,
+                max_depth: self.max_depth,
+                max_states: self.max_states,
+            },
+        );
+        if let Some(cex) = &bfs.counterexample {
+            check_replay_bridge(&subject(sys), sys, &cex.schedule, report);
+        }
+    }
+}

@@ -20,6 +20,13 @@
 //!   real solo executions with crashes — crash-divergence, the failure
 //!   mode that separates the recoverable consensus hierarchy from the
 //!   classical one.
+//! * **Cross-checker lints** (`RCN200`–`RCN203`) run two structurally
+//!   independent engines on the same question — `rcn-faults`' DFS vs
+//!   `rcn-mc`'s BFS for crashtest verdicts, `rcn-valency`'s budgeted
+//!   graph vs `rcn-mc`'s worklist fixpoint for valency facts, plus the
+//!   abstract↔threaded replay bridge for checker counterexamples — and
+//!   turn any disagreement into a hard error (see [`CrossCrashtest`],
+//!   [`CrossValency`], [`ReplayBridge`]).
 //!
 //! Entry points: [`Registry::with_defaults`], then
 //! [`Registry::lint_type`] / [`Registry::lint_system`]; the resulting
@@ -38,12 +45,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cross_lints;
 mod diag;
 mod explore;
 mod lint;
 mod program_lints;
 mod spec_lints;
 
+pub use cross_lints::{
+    check_replay_bridge, compare_crashtest_verdicts, compare_valency_verdicts, CrossCrashtest,
+    CrossValency, ReplayBridge,
+};
 pub use diag::{Diagnostic, Locus, LocusKind, Report, Severity};
 pub use explore::{
     crash_divergence, explore_process, Divergence, ExploreConfig, PanicSite, ProcessGraph,

@@ -8,6 +8,7 @@
 use crate::diag::Report;
 use crate::explore::{explore_process, ExploreConfig, ProcessGraph};
 use rcn_model::System;
+use rcn_obs::Tracer;
 use rcn_spec::ObjectType;
 
 /// A lint over a sequential specification ([`ObjectType`]).
@@ -56,8 +57,10 @@ impl Registry {
         }
     }
 
-    /// The full built-in lint set: `RCN001`–`RCN006` over specifications
-    /// and `RCN100`–`RCN104` over programs.
+    /// The full built-in lint set: `RCN001`–`RCN006` over specifications,
+    /// `RCN100`–`RCN104` over programs, and the `RCN200`–`RCN203`
+    /// differential cross-checks (the budget-clip warning `RCN202` is
+    /// emitted by the `RCN200`/`RCN201` lints, which own the budgets).
     pub fn with_defaults() -> Self {
         let mut r = Registry::new();
         r.register_spec(Box::new(crate::spec_lints::Closedness));
@@ -71,6 +74,9 @@ impl Registry {
         r.register_program(Box::new(crate::program_lints::TransitionTotality));
         r.register_program(Box::new(crate::program_lints::DeadObjects));
         r.register_program(Box::new(crate::program_lints::CrashDivergence));
+        r.register_program(Box::new(crate::cross_lints::CrossCrashtest::default()));
+        r.register_program(Box::new(crate::cross_lints::CrossValency::default()));
+        r.register_program(Box::new(crate::cross_lints::ReplayBridge::default()));
         r
     }
 
@@ -106,30 +112,63 @@ impl Registry {
     /// total specification, the structural lints would chase nonsense, so
     /// they are skipped.
     pub fn lint_type(&self, ty: &dyn ObjectType) -> Report {
+        self.lint_type_traced(ty, &Tracer::disabled())
+    }
+
+    /// [`lint_type`](Self::lint_type) with observability: one `lint.type`
+    /// span per run, a `lint.spec_passes` counter per lint executed, and
+    /// `lint.diagnostics` incremented per diagnostic produced.
+    pub fn lint_type_traced(&self, ty: &dyn ObjectType, tracer: &Tracer) -> Report {
+        let _span = tracer.span_with("lint.type", self.spec_lints.len() as i64, &ty.name());
+        let passes = tracer.counter("lint.spec_passes");
+        let diags = tracer.counter("lint.diagnostics");
         let mut report = Report::new();
         for lint in &self.spec_lints {
+            passes.incr();
             lint.check(ty, &mut report);
             if lint.code() == "RCN001" && report.errors() > 0 {
                 break;
             }
         }
         report.finish();
+        diags.add(report.diagnostics.len() as u64);
         report
     }
 
     /// Lints a protocol program by exploring each process's abstract
     /// state graph once and handing the graphs to every program lint.
     pub fn lint_system(&self, sys: &System, cfg: &ExploreConfig) -> Report {
+        self.lint_system_traced(sys, cfg, &Tracer::disabled())
+    }
+
+    /// [`lint_system`](Self::lint_system) with observability: one
+    /// `lint.system` span per run, a `lint.graphs_explored` counter per
+    /// process graph built, `lint.program_passes` per lint executed, and
+    /// `lint.diagnostics` per diagnostic produced.
+    pub fn lint_system_traced(&self, sys: &System, cfg: &ExploreConfig, tracer: &Tracer) -> Report {
+        let _span = tracer.span_with(
+            "lint.system",
+            self.program_lints.len() as i64,
+            &sys.program().name(),
+        );
+        let graphs_counter = tracer.counter("lint.graphs_explored");
+        let passes = tracer.counter("lint.program_passes");
+        let diags = tracer.counter("lint.diagnostics");
         let graphs: Vec<ProcessGraph> = sys
             .processes()
             .into_iter()
-            .map(|pid| explore_process(sys, pid, cfg))
+            .map(|pid| {
+                graphs_counter.incr();
+                explore_process(sys, pid, cfg)
+            })
             .collect();
         let mut report = Report::new();
         for lint in &self.program_lints {
+            passes.incr();
             lint.check(sys, &graphs, cfg, &mut report);
         }
         report.finish();
+        diags.add(report.diagnostics.len() as u64);
         report
     }
 }
@@ -148,11 +187,13 @@ mod tests {
     fn defaults_cover_all_codes() {
         let r = Registry::with_defaults();
         let codes: Vec<&str> = r.descriptions().iter().map(|(c, _, _)| *c).collect();
+        // RCN202 (budget clip) is emitted by the RCN200/RCN201 lints
+        // rather than registered separately, so it does not appear here.
         assert_eq!(
             codes,
             [
                 "RCN001", "RCN002", "RCN003", "RCN004", "RCN005", "RCN006", "RCN100", "RCN101",
-                "RCN102", "RCN103", "RCN104"
+                "RCN102", "RCN103", "RCN104", "RCN200", "RCN201", "RCN203"
             ]
         );
     }
@@ -181,6 +222,21 @@ mod tests {
         let report = Registry::with_defaults().lint_type(&Broken);
         assert!(report.errors() > 0);
         assert!(report.diagnostics.iter().all(|d| d.code == "RCN001"));
+    }
+
+    #[test]
+    fn traced_lint_counts_passes_and_diagnostics() {
+        let tracer = Tracer::metrics_only();
+        let reg = Registry::with_defaults();
+        let report = reg.lint_type_traced(&rcn_spec::zoo::Register::new(3), &tracer);
+        let snap = tracer.snapshot().expect("metrics tracer has a snapshot");
+        assert_eq!(snap.counter("lint.spec_passes"), Some(6));
+        assert_eq!(
+            snap.counter("lint.diagnostics"),
+            Some(report.diagnostics.len() as u64)
+        );
+        // Untraced runs produce the identical report.
+        assert_eq!(report, reg.lint_type(&rcn_spec::zoo::Register::new(3)));
     }
 
     #[test]

@@ -329,6 +329,192 @@ fn rcn104_crash_divergence_is_pinned() {
     );
 }
 
+fn synthetic_counterexample() -> rcn_faults::Counterexample {
+    rcn_faults::Counterexample {
+        schedule: rcn_model::Schedule::of_steps([ProcessId(0)]),
+        violation: rcn_model::Violation::Agreement {
+            process: ProcessId(0),
+            output: 1,
+            earlier: 0,
+        },
+        divergence: None,
+    }
+}
+
+fn clean_mc_report() -> rcn_mc::McReport {
+    rcn_mc::McReport {
+        stats: rcn_mc::McStats::default(),
+        coverage: rcn_mc::Coverage::Exhaustive,
+        counterexample: None,
+    }
+}
+
+#[test]
+fn rcn200_divergence_is_pinned_in_both_directions() {
+    // DFS finds a schedule the BFS checker does not...
+    let dfs = rcn_faults::CrashtestReport {
+        stats: rcn_faults::ExplorerStats::default(),
+        counterexample: Some(synthetic_counterexample()),
+    };
+    let mut report = Report::new();
+    rcn_analyze::compare_crashtest_verdicts(
+        "x",
+        "crashes=1, depth=10",
+        &dfs,
+        &clean_mc_report(),
+        &mut report,
+    );
+    report.finish();
+    pin(
+        &report,
+        "RCN200",
+        Severity::Error,
+        "the DFS explorer finds a violating schedule but the BFS checker certifies clean",
+    );
+
+    // ...and the converse: the BFS checker believes in a schedule the DFS
+    // explorer never found.
+    let clean_dfs = rcn_faults::CrashtestReport {
+        stats: rcn_faults::ExplorerStats::default(),
+        counterexample: None,
+    };
+    let cex = synthetic_counterexample();
+    let bfs = rcn_mc::McReport {
+        counterexample: Some(rcn_mc::McCounterexample {
+            schedule: cex.schedule,
+            violation: cex.violation,
+        }),
+        ..clean_mc_report()
+    };
+    let mut report = Report::new();
+    rcn_analyze::compare_crashtest_verdicts(
+        "x",
+        "crashes=1, depth=10",
+        &clean_dfs,
+        &bfs,
+        &mut report,
+    );
+    report.finish();
+    pin(
+        &report,
+        "RCN200",
+        Severity::Error,
+        "the BFS checker finds `p0` but the DFS explorer certifies clean",
+    );
+}
+
+#[test]
+fn rcn200_agreement_certificates_are_pinned() {
+    // Real run: both engines find the TAS violation.
+    let sys = rcn_protocols::TasConsensus::system(vec![0, 1]);
+    let report = lint_sys(&sys);
+    pin(
+        &report,
+        "RCN200",
+        Severity::Info,
+        "both find a violating schedule",
+    );
+    // Real run: both engines certify the recoverable protocol clean.
+    let sys = rcn_protocols::TnnRecoverable::system(5, 2, vec![0, 1]);
+    let report = lint_sys(&sys);
+    pin(&report, "RCN200", Severity::Info, "both certify clean");
+}
+
+#[test]
+fn rcn201_divergence_and_agreement_are_pinned() {
+    let mut report = Report::new();
+    rcn_analyze::compare_valency_verdicts(
+        "x",
+        "z=1, clamp=2",
+        "bivalent",
+        "0-univalent",
+        &mut report,
+    );
+    report.finish();
+    pin(
+        &report,
+        "RCN201",
+        Severity::Error,
+        "the decider stack says the initial configuration is bivalent, the BFS checker says 0-univalent",
+    );
+
+    let mut report = Report::new();
+    rcn_analyze::compare_valency_verdicts("x", "z=1, clamp=2", "bivalent", "bivalent", &mut report);
+    report.finish();
+    pin(
+        &report,
+        "RCN201",
+        Severity::Info,
+        "differential valency agrees at z=1, clamp=2: initial configuration is bivalent",
+    );
+}
+
+#[test]
+fn rcn202_budget_clip_is_pinned() {
+    // A state cap of 3 clips both engines on any real protocol: the
+    // comparison must be skipped with a warning, never trusted.
+    let sys = rcn_protocols::TasConsensus::system(vec![0, 1]);
+    let lint = rcn_analyze::CrossCrashtest {
+        max_crashes: 1,
+        max_depth: 10,
+        max_states: 3,
+    };
+    let cfg = ExploreConfig::default();
+    let graphs: Vec<_> = sys
+        .processes()
+        .into_iter()
+        .map(|pid| rcn_analyze::explore_process(&sys, pid, &cfg))
+        .collect();
+    let mut report = Report::new();
+    use rcn_analyze::ProgramLint;
+    lint.check(&sys, &graphs, &cfg, &mut report);
+    report.finish();
+    pin(
+        &report,
+        "RCN202",
+        Severity::Warn,
+        "cross-check budget too small",
+    );
+    pin(
+        &report,
+        "RCN202",
+        Severity::Warn,
+        "the RCN200 comparison was skipped",
+    );
+    assert_eq!(report.errors(), 0, "a clipped comparison must not error");
+}
+
+#[test]
+fn rcn203_bridge_verdicts_are_pinned() {
+    let sys = rcn_protocols::TasConsensus::system(vec![0, 1]);
+
+    // A schedule that violates nothing cannot clear the bridge: replay
+    // finds no violation on either side, so confirmation fails.
+    let benign = rcn_model::Schedule::of_steps([ProcessId(0)]);
+    let mut report = Report::new();
+    rcn_analyze::check_replay_bridge("test&set consensus", &sys, &benign, &mut report);
+    report.finish();
+    pin(
+        &report,
+        "RCN203",
+        Severity::Error,
+        "fails the abstract↔threaded replay bridge",
+    );
+
+    // The checker's real TAS counterexample must be confirmed.
+    let bfs = rcn_mc::model_check(&sys, rcn_mc::McConfig::default());
+    let cex = bfs.counterexample.expect("TAS diverges under one crash");
+    let mut report = Report::new();
+    rcn_analyze::check_replay_bridge("test&set consensus", &sys, &cex.schedule, &mut report);
+    report.finish();
+    pin(
+        &report,
+        "RCN203",
+        Severity::Info,
+        "confirmed by the abstract↔threaded replay bridge",
+    );
+}
+
 #[test]
 fn text_rendering_is_pinned() {
     let table: TableType = serde_json::from_str(BROKEN_TABLE_JSON).unwrap();

@@ -13,6 +13,8 @@
 //! rcn lint [<type>…|--all]           run the static analyzer (rcn-analyze)
 //! rcn crashtest <protocol>           enumerate every crash placement within
 //!                                    a budget; shrink + replay counterexamples
+//! rcn check <protocol>…              independent BFS model checker (second
+//!                                    opinion on crashtest + valency verdicts)
 //! rcn profile <trace.jsonl>          per-span time breakdown of a --trace file
 //! ```
 //!
@@ -68,6 +70,7 @@ fn run(args: &[String]) -> Result<(), String> {
         Some("simulate-tnn") => cmd_simulate_tnn(&args.collect::<Vec<_>>()),
         Some("lint") => cmd_lint(&args.collect::<Vec<_>>()),
         Some("crashtest") => cmd_crashtest(&args.collect::<Vec<_>>()),
+        Some("check") => cmd_check(&args.collect::<Vec<_>>()),
         Some("profile") => cmd_profile(&args.collect::<Vec<_>>()),
         Some(other) => Err(format!("unknown command `{other}`")),
     }
@@ -92,7 +95,7 @@ fn print_help() {
     println!("  --timeout SECS                      wall-clock deadline; partial results are reported as ≥N lower bounds");
     println!("  --bench-json PATH                   (classify) write a machine-readable BENCH record of the run to PATH");
     println!();
-    println!("observability (classify, compare, witness, crashtest):");
+    println!("observability (classify, compare, witness, lint, crashtest, check):");
     println!("  --trace PATH                        record a JSONL span/event trace to PATH");
     println!("                                      (refuses an existing file without --force)");
     println!("  --metrics                           print the metrics registry after the run");
@@ -110,8 +113,14 @@ fn print_help() {
     println!("       [--json]                       shrunk to 1-minimal and replayed through the");
     println!("                                      threaded runtime; exits nonzero on violation");
     println!();
-    println!("  crashtest protocols: tas | tnn-wait-free[:n,n'] | tnn-recoverable[:n,n']");
-    println!("                       | tournament[:type]");
+    println!("  check <protocol>… [--crashes K]     independent breadth-first model checker:");
+    println!("       [--depth D] [--max-states N]   re-derives crashtest verdicts (with");
+    println!("       [--inputs 0,1] [--valency]     minimal-depth counterexamples) and, with");
+    println!("       [--z Z] [--clamp C] [--json]   --valency, the initial configuration's");
+    println!("       [--bench-json PATH]            valency; exits nonzero on violation");
+    println!();
+    println!("  crashtest/check protocols: tas | tnn-wait-free[:n,n'] | tnn-recoverable[:n,n']");
+    println!("                             | tournament[:type]");
     println!();
     println!("  profile <trace.jsonl> [--json]      per-span time breakdown (self vs children,");
     println!("                                      call counts, p50/p99) of a --trace file");
@@ -584,7 +593,11 @@ const LINT_ALL_TYPES: &[&str] = &[
 fn cmd_lint(args: &[&str]) -> Result<(), String> {
     use rcn_analyze::{ExploreConfig, Registry, Report};
 
-    let parsed = parse_args(args, &["--deny"], &["--json", "--all", "--stats"])?;
+    let parsed = parse_args(
+        args,
+        &["--deny", "--trace"],
+        &["--json", "--all", "--stats", "--metrics", "--force"],
+    )?;
     let json = parsed.has("--json");
     let started = std::time::Instant::now();
     let deny_warnings = match parsed.value("--deny") {
@@ -602,6 +615,7 @@ fn cmd_lint(args: &[&str]) -> Result<(), String> {
         return Err("usage: rcn lint [<type>…|--all] [--json] [--deny warnings]".into());
     }
 
+    let tracer = tracer_from_args(&parsed)?;
     let registry = Registry::with_defaults();
     let mut combined = Report::new();
     for spec in &specs {
@@ -618,24 +632,39 @@ fn cmd_lint(args: &[&str]) -> Result<(), String> {
         } else {
             parse_type(spec).map_err(|e| e.to_string())?
         };
-        combined.merge(registry.lint_type(&*ty));
+        combined.merge(registry.lint_type_traced(&*ty, &tracer));
     }
     if all {
         // The shipped recoverable protocols ride along with --all: the §4
         // T_{n,n'} algorithm and the tournament over a sticky bit.
         let cfg = ExploreConfig::default();
         let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
-        combined.merge(registry.lint_system(&sys, &cfg));
+        combined.merge(registry.lint_system_traced(&sys, &cfg, &tracer));
         let sticky: types::DynType = std::sync::Arc::new(rcn_spec::zoo::StickyBit::new());
         let sys = rcn_core::solve_recoverable(sticky, vec![1, 0, 1]).map_err(|e| e.to_string())?;
-        combined.merge(registry.lint_system(&sys, &cfg));
+        combined.merge(registry.lint_system_traced(&sys, &cfg, &tracer));
     }
     combined.finish();
 
     if json {
-        println!("{}", combined.render_json());
+        // With --metrics the one stdout document wraps the report so the
+        // snapshot can ride along (the same convention as crashtest).
+        match (parsed.has("--metrics"), tracer.snapshot()) {
+            (true, Some(snapshot)) => println!(
+                "{{\"report\": {}, \"metrics\": {}}}",
+                combined.render_json(),
+                snapshot.to_json()
+            ),
+            _ => println!("{}", combined.render_json()),
+        }
     } else {
         print!("{}", combined.render_text());
+    }
+    flush_trace(&parsed, &tracer)?;
+    if parsed.has("--metrics") && !json {
+        if let Some(snapshot) = tracer.snapshot() {
+            print!("{}", snapshot.render_text());
+        }
     }
     if parsed.has("--stats") {
         let line = format!(
@@ -918,6 +947,238 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             "crashtest found a counterexample for {spec} (see above)"
         )),
         None => Ok(()),
+    }
+}
+
+/// `rcn check <protocol>…` — the independent breadth-first model checker
+/// (`rcn-mc`): a second opinion on `crashtest`'s DFS verdicts, sharing no
+/// search code with it, reporting minimal-depth counterexamples and an
+/// honest exhaustive/bounded coverage tag. With `--valency` it also
+/// re-derives the initial configuration's valency by a worklist fixpoint
+/// over the budgeted `E_z*` graph. Exits nonzero if any protocol has a
+/// counterexample.
+fn cmd_check(args: &[&str]) -> Result<(), String> {
+    use rcn_mc::{model_check_traced, valency_check, McConfig, ValencyConfig};
+
+    let parsed = parse_args(
+        args,
+        &[
+            "--crashes",
+            "--depth",
+            "--max-states",
+            "--inputs",
+            "--z",
+            "--clamp",
+            "--trace",
+            "--bench-json",
+        ],
+        &["--valency", "--json", "--stats", "--metrics", "--force"],
+    )?;
+    if parsed.positionals.is_empty() {
+        return Err(
+            "usage: rcn check <protocol>… [--crashes K] [--depth D] [--max-states N] \
+             [--inputs 0,1] [--valency] [--z Z] [--clamp C] [--json] [--stats] \
+             [--trace PATH] [--metrics] [--bench-json PATH]"
+                .into(),
+        );
+    }
+    let mut config = McConfig::default();
+    if let Some(v) = parsed.value("--crashes") {
+        config.max_crashes = v.parse().map_err(|_| "crashes must be a number")?;
+    }
+    if let Some(v) = parsed.value("--depth") {
+        config.max_depth = v.parse().map_err(|_| "depth must be a number")?;
+        if config.max_depth == 0 {
+            return Err("depth must be at least 1".into());
+        }
+    }
+    if let Some(v) = parsed.value("--max-states") {
+        config.max_states = v.parse().map_err(|_| "max-states must be a number")?;
+        if config.max_states == 0 {
+            return Err("max-states must be at least 1".into());
+        }
+    }
+    let mut vconfig = ValencyConfig::default();
+    if let Some(v) = parsed.value("--z") {
+        vconfig.z = v.parse().map_err(|_| "z must be a number")?;
+    }
+    if let Some(v) = parsed.value("--clamp") {
+        vconfig.clamp = v.parse().map_err(|_| "clamp must be a number")?;
+    }
+    if parsed.value("--max-states").is_some() {
+        vconfig.max_states = config.max_states;
+    }
+    let inputs = parsed
+        .value("--inputs")
+        .map(|v| parse_inputs_slice(&v.split(',').collect::<Vec<_>>()))
+        .transpose()?;
+
+    let tracer = tracer_from_args(&parsed)?;
+    let bench_path = parsed.value("--bench-json");
+    let mut recorder = BenchRecorder::new("mc");
+    let mut violators: Vec<&str> = Vec::new();
+    let mut json_objects: Vec<String> = Vec::new();
+
+    for (i, spec) in parsed.positionals.iter().enumerate() {
+        let (label, sys) = build_protocol(spec, inputs.clone())?;
+        // Bench records want clean per-run `mc.*` counters; when the shared
+        // tracer is not already recording, each run gets its own registry.
+        let run_tracer = if bench_path.is_some() && !tracer.recording() {
+            Tracer::metrics_only()
+        } else {
+            tracer.clone()
+        };
+        let started = std::time::Instant::now();
+        let report = model_check_traced(&sys, config, &run_tracer);
+        let valency = parsed
+            .has("--valency")
+            .then(|| valency_check(&sys, vconfig));
+        let wall = started.elapsed();
+        if report.counterexample.is_some() {
+            violators.push(spec);
+        }
+        if let Some(_path) = bench_path {
+            let mut record = BenchRecord::from_timing(
+                format!(
+                    "check/{spec}/crashes={},depth={}",
+                    config.max_crashes, config.max_depth
+                ),
+                1,
+                wall.as_secs_f64(),
+                report.stats.states_visited,
+            );
+            if let Some(snapshot) = run_tracer.snapshot() {
+                record.metrics = snapshot;
+            }
+            recorder.record(record);
+        }
+
+        if parsed.has("--json") {
+            let mut fields = vec![
+                format!("\"protocol\": {}", json_str(spec)),
+                format!("\"crashes\": {}", config.max_crashes),
+                format!("\"depth\": {}", config.max_depth),
+                format!("\"states_visited\": {}", report.stats.states_visited),
+                format!("\"events_applied\": {}", report.stats.events_applied),
+                format!("\"frontier_peak\": {}", report.stats.frontier_peak),
+                format!("\"dedup_ratio\": {:.4}", report.stats.dedup_ratio()),
+                format!("\"coverage\": {}", json_str(&report.coverage.to_string())),
+                format!("\"clean\": {}", report.counterexample.is_none()),
+            ];
+            if let Some(cex) = &report.counterexample {
+                fields.push(format!(
+                    "\"schedule\": {}",
+                    json_str(&cex.schedule.to_string())
+                ));
+                fields.push(format!(
+                    "\"violation\": {}",
+                    json_str(&cex.violation.to_string())
+                ));
+            }
+            if let Some(v) = &valency {
+                fields.push(format!(
+                    "\"valency\": {{\"verdict\": {}, \"z\": {}, \"clamp\": {}, \
+                     \"states\": {}, \"coverage\": {}}}",
+                    json_str(&v.valency.to_string()),
+                    vconfig.z,
+                    vconfig.clamp,
+                    v.states,
+                    json_str(&v.coverage.to_string())
+                ));
+            }
+            if parsed.has("--stats") {
+                fields.push(format!("\"wall_seconds\": {}", wall.as_secs_f64()));
+            }
+            json_objects.push(format!("{{{}}}", fields.join(", ")));
+        } else {
+            if i > 0 {
+                println!();
+            }
+            println!("protocol            : {label}");
+            println!(
+                "crash budget        : ≤{} crash(es) per process, schedules ≤{} events",
+                config.max_crashes, config.max_depth
+            );
+            println!("explored            : {}", report.stats);
+            println!("coverage            : {}", report.coverage);
+            if parsed.has("--stats") {
+                println!(
+                    "check stats         : {} in {:.3}s",
+                    report.stats,
+                    wall.as_secs_f64()
+                );
+            }
+            match &report.counterexample {
+                None => {
+                    if report.is_certified_clean() {
+                        println!(
+                            "verdict             : CERTIFIED CLEAN — breadth-first search found \
+                             no violating schedule within the budget"
+                        );
+                    } else {
+                        println!(
+                            "verdict             : clean within the explored bound (state cap \
+                             hit, so this is NOT a certification)"
+                        );
+                    }
+                }
+                Some(cex) => {
+                    println!("minimal schedule    : {}", cex.schedule);
+                    println!("violation           : {}", cex.violation);
+                    println!(
+                        "verdict             : VIOLATION — minimal-depth counterexample found \
+                         by breadth-first search"
+                    );
+                }
+            }
+            if let Some(v) = &valency {
+                println!(
+                    "valency             : initial configuration is {} (z={}, clamp={}, \
+                     {} states, {})",
+                    v.valency, vconfig.z, vconfig.clamp, v.states, v.coverage
+                );
+            }
+        }
+    }
+
+    if parsed.has("--json") {
+        // One protocol prints its object bare; several are wrapped so the
+        // stdout document stays a single JSON value.
+        let metrics_field = parsed
+            .has("--metrics")
+            .then(|| tracer.snapshot())
+            .flatten()
+            .map(|s| format!(", \"metrics\": {}", s.to_json()))
+            .unwrap_or_default();
+        match &json_objects[..] {
+            [one] if metrics_field.is_empty() => println!("{one}"),
+            [one] => println!(
+                "{{{}{metrics_field}}}",
+                &one[1..one.len() - 1] // splice metrics into the one object
+            ),
+            many => println!("{{\"checks\": [{}]{metrics_field}}}", many.join(", ")),
+        }
+    }
+    if let Some(path) = bench_path {
+        recorder
+            .write_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing bench records to {path}: {e}"))?;
+        if !parsed.has("--json") {
+            println!("bench records       : {path}");
+        }
+    }
+    flush_trace(&parsed, &tracer)?;
+    if parsed.has("--metrics") && !parsed.has("--json") {
+        if let Some(snapshot) = tracer.snapshot() {
+            print!("{}", snapshot.render_text());
+        }
+    }
+    match &violators[..] {
+        [] => Ok(()),
+        some => Err(format!(
+            "check found a counterexample for {} (see above)",
+            some.join(", ")
+        )),
     }
 }
 
@@ -1271,6 +1532,71 @@ mod tests {
         assert!(run(&s(&["crashtest", "tas", "--inputs", "0,7"])).is_err());
         assert!(run(&s(&["crashtest", "tas", "--crashes", "x"])).is_err());
         assert!(run(&s(&["crashtest", "tas", "--cap", "3"])).is_err());
+    }
+
+    #[test]
+    fn check_rediscovers_the_known_counterexamples() {
+        // The independent BFS checker exits nonzero on the same broken
+        // protocols as the DFS explorer, in every output mode.
+        assert!(run(&s(&["check", "tas"])).is_err());
+        assert!(run(&s(&["check", "tas", "--json"])).is_err());
+        assert!(run(&s(&["check", "tnn-wait-free"])).is_err());
+        // One violator in a batch fails the whole batch.
+        assert!(run(&s(&["check", "tnn-recoverable", "tas"])).is_err());
+    }
+
+    #[test]
+    fn check_certifies_the_correct_protocols() {
+        assert!(run(&s(&["check", "tnn-recoverable:5,2", "--valency"])).is_ok());
+        assert!(run(&s(&["check", "tournament", "--inputs", "1,0"])).is_ok());
+        assert!(run(&s(&["check", "tournament:sticky", "--json", "--metrics"])).is_ok());
+        assert!(run(&s(&["check", "tnn-recoverable", "tournament", "--stats"])).is_ok());
+        assert!(run(&s(&["check", "tas", "--crashes", "0"])).is_ok());
+    }
+
+    #[test]
+    fn check_rejects_malformed_specs() {
+        assert!(run(&s(&["check"])).is_err());
+        assert!(run(&s(&["check", "warp-drive"])).is_err());
+        assert!(run(&s(&["check", "tas", "--depth", "0"])).is_err());
+        assert!(run(&s(&["check", "tas", "--max-states", "0"])).is_err());
+        assert!(run(&s(&["check", "tas", "--inputs", "0,7"])).is_err());
+        assert!(run(&s(&["check", "tas", "--crashes", "x"])).is_err());
+        assert!(run(&s(&["check", "tas", "--z", "x"])).is_err());
+        assert!(run(&s(&["check", "tas", "--shrink"])).is_err());
+    }
+
+    #[test]
+    fn check_writes_bench_records() {
+        let dir = std::env::temp_dir().join("rcn_cli_check_bench");
+        let path = dir.join("BENCH_mc.json");
+        let path_str = path.display().to_string();
+        // tas violates, so the run exits nonzero — the records are still
+        // written first (CI wraps the call the same way).
+        assert!(run(&s(&["check", "tas", "--bench-json", &path_str])).is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        for fragment in [
+            "\"check/tas/crashes=2,depth=16\"",
+            "\"mc.states_visited\"",
+            "\"mc.frontier_peak\"",
+        ] {
+            assert!(text.contains(fragment), "missing {fragment} in:\n{text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lint_accepts_observability_flags() {
+        assert!(run(&s(&["lint", "sticky", "--metrics"])).is_ok());
+        assert!(run(&s(&["lint", "sticky", "--metrics", "--json"])).is_ok());
+        let path = std::env::temp_dir().join("rcn_cli_lint_trace.jsonl");
+        let path_str = path.display().to_string();
+        std::fs::remove_file(&path).ok();
+        assert!(run(&s(&["lint", "sticky", "--trace", &path_str])).is_ok());
+        // Refuses to clobber without --force.
+        assert!(run(&s(&["lint", "sticky", "--trace", &path_str])).is_err());
+        assert!(run(&s(&["lint", "sticky", "--trace", &path_str, "--force"])).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //! The search is deterministic — events are tried in a fixed order, so the
 //! first counterexample found is the same on every run — and it is
 //! exhaustive within its budget unless the state cap is hit, which the
-//! verdict reports honestly ([`ExploreStats::state_capped`]).
+//! verdict reports honestly ([`ExplorerStats::state_capped`]).
 //!
 //! Memoization is depth-aware: each `(configuration, crash-counts)` state
 //! records the largest *remaining* schedule budget it has been explored
@@ -50,13 +50,22 @@ impl Default for CrashtestConfig {
     }
 }
 
-/// Observability counters of one exploration.
+/// The explorer's public search-effort counters — the stable seam other
+/// crates (the RCN200 cross-checker lint, the CLI, bench records) compare
+/// and report. Tracer counters mirror these; the struct is authoritative
+/// and available without any tracer attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
-pub struct ExploreStats {
+pub struct ExplorerStats {
     /// Distinct `(configuration, crash-counts)` states visited.
     pub states_visited: u64,
     /// Events applied (edges traversed), counting revisits.
     pub events_applied: u64,
+    /// Child states skipped because the memo had already explored them
+    /// with at least as much remaining budget.
+    pub memo_hits: u64,
+    /// Memoized states explored *again* because they were re-reached with
+    /// more remaining budget (the depth-aware refinement).
+    pub re_explored: u64,
     /// `true` if some path was cut short by [`CrashtestConfig::max_depth`]
     /// while events were still enabled. Expected for any non-trivial
     /// protocol; the depth cap is part of the stated budget, and the
@@ -68,7 +77,10 @@ pub struct ExploreStats {
     pub state_capped: bool,
 }
 
-impl ExploreStats {
+/// Former name of [`ExplorerStats`], kept as an alias.
+pub type ExploreStats = ExplorerStats;
+
+impl ExplorerStats {
     /// `true` if a clean verdict covers *every* schedule within the
     /// configured budget. `depth_limited` does not void exhaustiveness:
     /// the memoization is depth-aware, so every schedule of length ≤
@@ -79,12 +91,12 @@ impl ExploreStats {
     }
 }
 
-impl fmt::Display for ExploreStats {
+impl fmt::Display for ExplorerStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} states, {} events",
-            self.states_visited, self.events_applied
+            "{} states, {} events, {} memo hits",
+            self.states_visited, self.events_applied, self.memo_hits
         )?;
         if self.state_capped {
             write!(f, " (state cap hit)")?;
@@ -121,7 +133,7 @@ impl fmt::Display for Counterexample {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CrashtestReport {
     /// Exploration counters (including the honesty flags).
-    pub stats: ExploreStats,
+    pub stats: ExplorerStats,
     /// The first counterexample found, or `None` if every explored
     /// schedule is safe.
     pub counterexample: Option<Counterexample>,
@@ -157,7 +169,7 @@ impl<'s> CrashExplorer<'s> {
     /// `crashtest.events_applied` / `crashtest.memo_hits` /
     /// `crashtest.re_explored` counters and a `crashtest.depth` histogram
     /// (one observation per newly visited state), and the final
-    /// [`ExploreStats`] are published as `crashtest.*` counters.
+    /// [`ExplorerStats`] are published as `crashtest.*` counters.
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
@@ -191,7 +203,7 @@ impl<'s> CrashExplorer<'s> {
             budget: self.config,
             visited: HashMap::new(),
             path: Vec::new(),
-            stats: ExploreStats::default(),
+            stats: ExplorerStats::default(),
             events: self.tracer.counter("crashtest.events_applied"),
             memo_hits: self.tracer.counter("crashtest.memo_hits"),
             re_explored: self.tracer.counter("crashtest.re_explored"),
@@ -225,7 +237,7 @@ impl<'s> CrashExplorer<'s> {
         report
     }
 
-    /// Publishes the final [`ExploreStats`] as absolute `crashtest.*`
+    /// Publishes the final [`ExplorerStats`] as absolute `crashtest.*`
     /// counters and records the counterexample (if any) as an event inside
     /// the exploration span.
     fn publish(&self, report: &CrashtestReport, span: &rcn_obs::Span) {
@@ -280,7 +292,7 @@ struct Search<'s> {
     /// budget (crash or depth) left can reach strictly more.
     visited: HashMap<(Configuration, Vec<usize>), usize>,
     path: Vec<Event>,
-    stats: ExploreStats,
+    stats: ExplorerStats,
     /// Live instrument handles (no-ops under a disabled tracer), resolved
     /// once so the hot loop never touches the registry's lock.
     events: Counter,
@@ -355,9 +367,11 @@ impl Search<'_> {
             let explore = match self.visited.get(&key) {
                 Some(&seen) => {
                     if seen >= remaining {
+                        self.stats.memo_hits += 1;
                         self.memo_hits.incr();
                         false
                     } else {
+                        self.stats.re_explored += 1;
                         self.re_explored.incr();
                         self.visited.insert(key.clone(), remaining);
                         true
@@ -707,6 +721,26 @@ mod tests {
             "an exhaustive exploration must hit its memo: {snap:?}"
         );
         assert_eq!(snap.counter("crashtest.counterexamples"), Some(0));
+        // The public stats carry the same memo counters the tracer saw.
+        assert_eq!(
+            snap.counter("crashtest.memo_hits"),
+            Some(clean.stats.memo_hits)
+        );
+        assert_eq!(
+            snap.counter("crashtest.re_explored"),
+            Some(clean.stats.re_explored)
+        );
+    }
+
+    #[test]
+    fn public_stats_expose_memo_effort_without_a_tracer() {
+        // The stable ExplorerStats seam: memo effort is visible on the
+        // plain (untraced) report, so cross-checkers can cite both sides'
+        // search effort without instrumenting anything.
+        let report = explore(&TnnRecoverable::system(5, 2, vec![0, 1]));
+        assert!(report.is_certified_clean());
+        assert!(report.stats.memo_hits > 0, "{}", report.stats);
+        assert!(report.stats.events_applied > report.stats.states_visited);
     }
 
     #[test]

@@ -41,7 +41,9 @@ mod replay;
 mod shrink;
 
 pub use diagnose::{diagnose, Diagnosis, Divergence};
-pub use explorer::{Counterexample, CrashExplorer, CrashtestConfig, CrashtestReport, ExploreStats};
+pub use explorer::{
+    Counterexample, CrashExplorer, CrashtestConfig, CrashtestReport, ExploreStats, ExplorerStats,
+};
 pub use replay::{replay, replay_traced, ReplayReport};
 pub use shrink::{
     shrink_counterexample, shrink_counterexample_traced, shrink_schedule, shrink_schedule_traced,

@@ -28,4 +28,5 @@ pub use rcn_core::*;
 
 pub use rcn_analyze as analyze;
 pub use rcn_faults as faults;
+pub use rcn_mc as mc;
 pub use rcn_obs as obs;

@@ -199,4 +199,55 @@ proptest! {
         let (_, v) = apply_all(&reg, ValueId::new(0), &ops);
         prop_assert_eq!(v.index(), *writes.last().unwrap() as usize);
     }
+
+    /// Differential second opinion over random protocols: the DFS crash
+    /// explorer (`rcn-faults`) and the independent BFS model checker
+    /// (`rcn-mc`) must agree on crash-divergence verdicts at identical
+    /// budgets, and the decider stack's budgeted `E_z*` graph must agree
+    /// with the checker's worklist fixpoint on the initial valency —
+    /// on tournaments built from random readable tables, not just the
+    /// curated zoo.
+    #[test]
+    fn dfs_and_bfs_checkers_agree_on_random_tables(
+        seed in 0u64..80,
+        inputs in prop::collection::vec(0u32..2, 2..4),
+    ) {
+        let mut rng = synthesis::rng(seed);
+        let t = synthesis::random_readable_table(&mut rng, 4, 2);
+        let Ok(sys) = rcn::solve_recoverable(std::sync::Arc::new(t), inputs) else {
+            // No 2-recording witness for this table: nothing to build.
+            return Ok(());
+        };
+        let dfs = rcn::faults::crashtest(&sys, rcn::faults::CrashtestConfig {
+            max_crashes: 1,
+            max_depth: 8,
+            max_states: 100_000,
+        });
+        let bfs = rcn::mc::model_check(&sys, rcn::mc::McConfig {
+            max_crashes: 1,
+            max_depth: 8,
+            max_states: 100_000,
+        });
+        prop_assert!(dfs.stats.exhaustive());
+        prop_assert_eq!(bfs.coverage, rcn::mc::Coverage::Exhaustive);
+        prop_assert_eq!(
+            dfs.counterexample.is_some(),
+            bfs.counterexample.is_some(),
+            "crashtest verdicts diverge: dfs {:?} vs bfs {:?}",
+            dfs.counterexample.map(|c| c.schedule.to_string()),
+            bfs.counterexample.map(|c| c.schedule.to_string())
+        );
+        if let Ok(graph) = rcn::valency::BudgetedGraph::explore(&sys, 1, 2, 100_000) {
+            let checker = rcn::mc::valency_check(&sys, rcn::mc::ValencyConfig {
+                z: 1,
+                clamp: 2,
+                max_states: 100_000,
+            });
+            prop_assert_eq!(checker.coverage, rcn::mc::Coverage::Exhaustive);
+            prop_assert_eq!(
+                graph.initial_valency().to_string(),
+                checker.valency.to_string()
+            );
+        }
+    }
 }
