@@ -248,14 +248,19 @@ impl ProgramLint for CrossCrashtest {
             return;
         }
         let subject = subject(sys);
-        let dfs = rcn_faults::crashtest(
+        // The DFS side runs the sharded engine: the cross-check then also
+        // exercises the parallel search's bit-identical-verdict contract
+        // against an engine that shares none of its code.
+        let dfs = rcn_faults::CrashExplorer::new(
             sys,
             rcn_faults::CrashtestConfig {
                 max_crashes: self.max_crashes,
                 max_depth: self.max_depth,
                 max_states: self.max_states,
             },
-        );
+        )
+        .with_threads(2)
+        .explore();
         let bfs = rcn_mc::model_check(
             sys,
             rcn_mc::McConfig {

@@ -110,8 +110,13 @@ fn print_help() {
     println!("  crashtest <protocol> [--crashes K]  enumerate every crash placement within the");
     println!("       [--depth D] [--max-states N]   budget (K crashes/process, schedules up to D");
     println!("       [--inputs 0,1] [--shrink]      events); counterexamples are optionally");
-    println!("       [--json]                       shrunk to 1-minimal and replayed through the");
-    println!("                                      threaded runtime; exits nonzero on violation");
+    println!("       [--json] [--explore-threads T] shrunk to 1-minimal and replayed through the");
+    println!("       [--memo-dir DIR] [--no-memo]   threaded runtime; exits nonzero on violation.");
+    println!("       [--timeout SECS]               T>1 shards the search (T=0: all cores) with a");
+    println!(
+        "       [--bench-json PATH]            bit-identical verdict; --memo-dir persists the"
+    );
+    println!("                                      verdict + memo so repeated runs resume");
     println!();
     println!("  check <protocol>… [--crashes K]     independent breadth-first model checker:");
     println!("       [--depth D] [--max-states N]   re-derives crashtest verdicts (with");
@@ -773,7 +778,7 @@ fn json_str(s: &str) -> String {
 
 fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
     use rcn_faults::{
-        crashtest_traced, replay_traced, shrink_counterexample_traced, CrashtestConfig,
+        replay_traced, shrink_counterexample_traced, CrashExplorer, CrashtestConfig, ExplorerMemo,
     };
 
     let parsed = parse_args(
@@ -783,14 +788,27 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             "--depth",
             "--max-states",
             "--inputs",
+            "--explore-threads",
+            "--memo-dir",
+            "--timeout",
+            "--bench-json",
             "--trace",
         ],
-        &["--shrink", "--json", "--stats", "--metrics", "--force"],
+        &[
+            "--shrink",
+            "--no-memo",
+            "--json",
+            "--stats",
+            "--metrics",
+            "--force",
+        ],
     )?;
     let [spec] = parsed.positionals[..] else {
         return Err(
             "usage: rcn crashtest <protocol> [--crashes K] [--depth D] [--max-states N] \
-             [--inputs 0,1] [--shrink] [--json] [--stats] [--trace PATH] [--metrics]"
+             [--inputs 0,1] [--explore-threads N] [--memo-dir DIR] [--no-memo] \
+             [--timeout SECS] [--shrink] [--json] [--stats] [--trace PATH] [--metrics] \
+             [--bench-json PATH]"
                 .into(),
         );
     };
@@ -810,36 +828,98 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             return Err("max-states must be at least 1".into());
         }
     }
+    let threads: usize = match parsed.value("--explore-threads") {
+        // 0 = all cores, mirroring the search commands' --threads.
+        Some("0") => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        Some(v) => v.parse().map_err(|_| "explore-threads must be a number")?,
+        None => 1,
+    };
     let inputs = parsed
         .value("--inputs")
         .map(|v| parse_inputs_slice(&v.split(',').collect::<Vec<_>>()))
         .transpose()?;
     let (label, sys) = build_protocol(spec, inputs)?;
+    // The crash budget of zero is legal but worth flagging: the run is a
+    // crash-free exploration, not a crash-robustness certificate.
+    let crash_free = config.max_crashes == 0;
 
     let tracer = tracer_from_args(&parsed)?;
+    let bench_path = parsed.value("--bench-json");
+    // Bench records want clean per-run `crashtest.*` counters; when the
+    // shared tracer is not already recording, the run gets its own registry.
+    let run_tracer = if bench_path.is_some() && !tracer.recording() {
+        Tracer::metrics_only()
+    } else {
+        tracer.clone()
+    };
+    let mut explorer = CrashExplorer::new(&sys, config)
+        .with_tracer(run_tracer.clone())
+        .with_threads(threads);
+    if let Some(v) = parsed.value("--timeout") {
+        let secs: f64 = v
+            .parse()
+            .map_err(|_| "timeout must be a number of seconds")?;
+        if !(secs > 0.0 && secs.is_finite()) {
+            return Err("timeout must be a positive number of seconds".into());
+        }
+        explorer = explorer.with_timeout(std::time::Duration::from_secs_f64(secs));
+    }
+    // `--no-memo` wins over `--memo-dir`, like `--no-cache`/`--cache-dir`.
+    if let Some(dir) = parsed.value("--memo-dir") {
+        if !parsed.has("--no-memo") {
+            explorer = explorer.with_memo(ExplorerMemo::new(dir));
+        }
+    }
     let started = std::time::Instant::now();
-    let report = crashtest_traced(&sys, config, &tracer);
+    let report = explorer.explore();
     let shrunk = report.counterexample.as_ref().map(|cex| {
         let minimal = if parsed.has("--shrink") {
-            shrink_counterexample_traced(&sys, cex, &tracer)
+            shrink_counterexample_traced(&sys, cex, &run_tracer)
         } else {
             cex.clone()
         };
         // Counterexamples are never reported on the abstract executor's
         // word alone: the schedule must reproduce end-to-end through the
         // threaded runtime too.
-        let replayed = replay_traced(&sys, &minimal.schedule, &tracer);
+        let replayed = replay_traced(&sys, &minimal.schedule, &run_tracer);
         (minimal, replayed)
     });
     let wall = started.elapsed();
+
+    if let Some(_path) = bench_path {
+        let mut recorder = BenchRecorder::new("crashtest");
+        let mut record = BenchRecord::from_timing(
+            format!(
+                "crashtest/{spec}/crashes={},depth={}",
+                config.max_crashes, config.max_depth
+            ),
+            threads,
+            wall.as_secs_f64(),
+            report.stats.states_visited,
+        );
+        if let Some(snapshot) = run_tracer.snapshot() {
+            record.metrics = snapshot;
+        }
+        recorder.record(record);
+        let path = bench_path.unwrap();
+        recorder
+            .write_to(std::path::Path::new(path))
+            .map_err(|e| format!("writing bench records to {path}: {e}"))?;
+        if !parsed.has("--json") {
+            println!("bench records       : {path}");
+        }
+    }
 
     if parsed.has("--json") {
         let mut fields = vec![
             format!("\"protocol\": {}", json_str(spec)),
             format!("\"crashes\": {}", config.max_crashes),
+            format!("\"crash_free\": {crash_free}"),
             format!("\"depth\": {}", config.max_depth),
+            format!("\"threads\": {threads}"),
             format!("\"states_visited\": {}", report.stats.states_visited),
             format!("\"events_applied\": {}", report.stats.events_applied),
+            format!("\"resumed_states\": {}", report.stats.resumed_states),
             format!("\"exhaustive\": {}", report.stats.exhaustive()),
             format!("\"clean\": {}", report.counterexample.is_none()),
         ];
@@ -862,7 +942,7 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             fields.push(format!("\"wall_seconds\": {}", wall.as_secs_f64()));
         }
         if parsed.has("--metrics") {
-            if let Some(snapshot) = tracer.snapshot() {
+            if let Some(snapshot) = run_tracer.snapshot() {
                 fields.push(format!("\"metrics\": {}", snapshot.to_json()));
             }
         }
@@ -870,9 +950,18 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
     } else {
         println!("protocol            : {label}");
         println!(
-            "crash budget        : ≤{} crash(es) per process, schedules ≤{} events",
-            config.max_crashes, config.max_depth
+            "crash budget        : ≤{} crash(es) per process, schedules ≤{} events{}",
+            config.max_crashes,
+            config.max_depth,
+            if crash_free {
+                " (crash-free exploration: no crash robustness is being tested)"
+            } else {
+                ""
+            }
         );
+        if threads > 1 {
+            println!("explore threads     : {threads}");
+        }
         println!("explored            : {}", report.stats);
         if parsed.has("--stats") {
             println!(
@@ -899,9 +988,14 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
                          budget violates agreement or validity"
                     );
                 } else {
+                    let why = if report.stats.timed_out {
+                        "the deadline expired"
+                    } else {
+                        "search was capped"
+                    };
                     println!(
-                        "verdict             : clean within the explored bound (search was \
-                         capped, so this is NOT a certification)"
+                        "verdict             : clean within the explored bound ({why}, so this \
+                         is NOT a certification)"
                     );
                 }
             }
@@ -938,7 +1032,7 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
     // In JSON mode the metrics already rode along inside the one report
     // object; only text mode gets the registry printed separately.
     if parsed.has("--metrics") && !parsed.has("--json") {
-        if let Some(snapshot) = tracer.snapshot() {
+        if let Some(snapshot) = run_tracer.snapshot() {
             print!("{}", snapshot.render_text());
         }
     }
@@ -1532,6 +1626,78 @@ mod tests {
         assert!(run(&s(&["crashtest", "tas", "--inputs", "0,7"])).is_err());
         assert!(run(&s(&["crashtest", "tas", "--crashes", "x"])).is_err());
         assert!(run(&s(&["crashtest", "tas", "--cap", "3"])).is_err());
+    }
+
+    #[test]
+    fn crashtest_accepts_sharding_and_timeout_flags() {
+        // Sharded runs reach the same verdict (the exit code IS the
+        // verdict): broken protocols stay broken, clean ones stay clean.
+        assert!(run(&s(&["crashtest", "tas", "--explore-threads", "2"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--explore-threads=4", "--shrink"])).is_err());
+        assert!(run(&s(&[
+            "crashtest",
+            "tnn-recoverable",
+            "--explore-threads",
+            "2"
+        ]))
+        .is_ok());
+        // 0 = all cores, mirroring the search commands.
+        assert!(run(&s(&[
+            "crashtest",
+            "tnn-recoverable",
+            "--explore-threads",
+            "0"
+        ]))
+        .is_ok());
+        // A generous deadline changes nothing; an absurd one still exits
+        // zero — the partial is honest, not an error.
+        assert!(run(&s(&["crashtest", "tnn-recoverable", "--timeout", "600"])).is_ok());
+        assert!(run(&s(&["crashtest", "tas", "--timeout", "0.000001"])).is_ok());
+        // Malformed values are usage errors.
+        assert!(run(&s(&["crashtest", "tas", "--explore-threads", "x"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--timeout", "0"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--timeout", "-1"])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--timeout", "soon"])).is_err());
+    }
+
+    #[test]
+    fn crashtest_memo_dir_resumes_and_no_memo_wins() {
+        let dir = std::env::temp_dir().join("rcn_cli_crashtest_memo");
+        std::fs::remove_dir_all(&dir).ok();
+        let d = dir.display().to_string();
+        // Cold run stores, warm run resumes — the verdict (exit code) is
+        // identical both ways, for a broken and a certified-clean protocol.
+        assert!(run(&s(&["crashtest", "tas", "--memo-dir", &d])).is_err());
+        assert!(run(&s(&["crashtest", "tas", "--memo-dir", &d, "--json"])).is_err());
+        assert!(run(&s(&["crashtest", "tnn-recoverable", "--memo-dir", &d])).is_ok());
+        assert!(run(&s(&["crashtest", "tnn-recoverable", "--memo-dir", &d])).is_ok());
+        // Something was actually persisted.
+        assert!(std::fs::read_dir(&dir).unwrap().count() >= 2);
+        // --no-memo wins over --memo-dir: the run neither reads nor writes.
+        let fresh = dir.join("untouched");
+        let f = fresh.display().to_string();
+        assert!(run(&s(&["crashtest", "tas", "--memo-dir", &f, "--no-memo"])).is_err());
+        assert!(!fresh.exists());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn crashtest_writes_bench_records() {
+        let dir = std::env::temp_dir().join("rcn_cli_crashtest_bench");
+        let path = dir.join("BENCH_crashtest.json");
+        let path_str = path.display().to_string();
+        // tas violates, so the run exits nonzero — the records are still
+        // written first (CI wraps the call the same way).
+        assert!(run(&s(&["crashtest", "tas", "--bench-json", &path_str])).is_err());
+        let text = std::fs::read_to_string(&path).unwrap();
+        for fragment in [
+            "\"crashtest/tas/crashes=2,depth=16\"",
+            "\"crashtest.states_visited\"",
+            "\"crashtest.events_applied\"",
+        ] {
+            assert!(text.contains(fragment), "missing {fragment} in:\n{text}");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -3,15 +3,43 @@
 //! The paper's adversary places crashes at arbitrary points of a schedule;
 //! `rcn-runtime`'s `CrashyAdversary` and `run_threaded` only *sample* such
 //! placements from a seeded RNG. This module enumerates them: a bounded,
-//! memoized depth-first search over the abstract executor that considers a
-//! crash of every process at every reachable configuration, up to a
-//! per-process crash budget (the paper's `E_z`-style budgets bound crashes
-//! per process, not globally) and a schedule-length cap.
+//! memoized search over the abstract executor that considers a crash of
+//! every process at every reachable configuration, up to a per-process
+//! crash budget (the paper's `E_z`-style budgets bound crashes per process,
+//! not globally) and a schedule-length cap.
 //!
-//! The search is deterministic — events are tried in a fixed order, so the
-//! first counterexample found is the same on every run — and it is
-//! exhaustive within its budget unless the state cap is hit, which the
-//! verdict reports honestly ([`ExplorerStats::state_capped`]).
+//! The search is an explicit work-list depth-first traversal (no
+//! recursion, so `--depth` in the thousands cannot overflow the stack).
+//! Candidate events are tried in a fixed order — steps of `p0..pn`, then
+//! crashes of `p0..pn` — so the traversal enumerates schedules in
+//! lexicographic order and the first counterexample found is the
+//! lexicographically-least violating schedule. That is the deterministic
+//! tie-break every execution mode must reproduce:
+//!
+//! * **Sequential** (`threads == 1`, the default): one work-list DFS,
+//!   bit-identical to the historical recursive explorer.
+//! * **Sharded** ([`CrashExplorer::with_threads`]): the frontier is
+//!   expanded breadth-first until there are enough lex-ordered,
+//!   prefix-free subtree roots to feed the worker pool; each task runs
+//!   the same work-list DFS with a task-local memo, publishing its memo
+//!   entries into a shared certified-clean map only when the task
+//!   completes without finding a violation (an abandoned task's pre-order
+//!   entries are *not* certified and must never prune another task).
+//!   A task that finds a violation cancels every lex-later task — sound
+//!   because the roots are prefix-free and lex-ordered, so any violation
+//!   in a later task is lex-greater. The final counterexample is the
+//!   lex-least over all found, which equals the sequential one.
+//! * **Resumed** ([`CrashExplorer::with_memo`]): certified-clean memo
+//!   facts and final verdicts persist through the `CacheIo` machinery;
+//!   a repeated run with the same system fingerprint and budget triple
+//!   resumes instead of restarting (see [`crate::ExplorerMemo`]).
+//!
+//! The search is exhaustive within its budget unless the state cap or the
+//! wall-clock timeout is hit, which the verdict reports honestly
+//! ([`ExplorerStats::state_capped`], [`ExplorerStats::timed_out`]). Once
+//! the state cap trips the search short-circuits immediately — walking
+//! the remaining frontier could only burn events without restoring
+//! exhaustiveness.
 //!
 //! Memoization is depth-aware: each `(configuration, crash-counts)` state
 //! records the largest *remaining* schedule budget it has been explored
@@ -21,10 +49,15 @@
 //! along a shorter prefix, pruning schedules still within `max_depth`.
 
 use crate::diagnose::{diagnose, Divergence};
+use crate::memo::{ExplorerMemo, MemoLoad};
 use rcn_model::{Action, Configuration, Event, ProcessId, Schedule, System, Violation};
 use rcn_obs::{Counter, HistogramHandle, Tracer};
 use std::collections::HashMap;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Budgets for a crash-exploration run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -56,7 +89,9 @@ impl Default for CrashtestConfig {
 /// and available without any tracer attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct ExplorerStats {
-    /// Distinct `(configuration, crash-counts)` states visited.
+    /// Distinct `(configuration, crash-counts)` states visited. In sharded
+    /// mode each task counts its own visits, so this is an upper bound on
+    /// the number of distinct states.
     pub states_visited: u64,
     /// Events applied (edges traversed), counting revisits.
     pub events_applied: u64,
@@ -66,6 +101,14 @@ pub struct ExplorerStats {
     /// Memoized states explored *again* because they were re-reached with
     /// more remaining budget (the depth-aware refinement).
     pub re_explored: u64,
+    /// Memo hits served by facts loaded from the persistent memo (a
+    /// subset of `memo_hits`), plus — when a stored verdict short-circuits
+    /// the whole run — the stored run's `states_visited`. Zero on cold
+    /// runs; a warm resume reports how much search the disk saved.
+    pub resumed_states: u64,
+    /// Worker tasks that panicked (isolated by `catch_unwind`): their
+    /// subtrees are unexplored, so any clean verdict is partial.
+    pub tasks_panicked: u64,
     /// `true` if some path was cut short by [`CrashtestConfig::max_depth`]
     /// while events were still enabled. Expected for any non-trivial
     /// protocol; the depth cap is part of the stated budget, and the
@@ -75,6 +118,9 @@ pub struct ExplorerStats {
     /// `true` if [`CrashtestConfig::max_states`] was hit: a clean verdict
     /// then only covers the states actually visited.
     pub state_capped: bool,
+    /// `true` if the wall-clock timeout expired before the budget was
+    /// covered: the verdict is an honest partial.
+    pub timed_out: bool,
 }
 
 /// Former name of [`ExplorerStats`], kept as an alias.
@@ -84,10 +130,11 @@ impl ExplorerStats {
     /// `true` if a clean verdict covers *every* schedule within the
     /// configured budget. `depth_limited` does not void exhaustiveness:
     /// the memoization is depth-aware, so every schedule of length ≤
-    /// `max_depth` is still covered. Only the state cap — which stops the
-    /// search from growing at all — makes a clean verdict partial.
+    /// `max_depth` is still covered. Only the state cap, a timeout, or a
+    /// panicked worker task — each of which stops the search from growing
+    /// — makes a clean verdict partial.
     pub fn exhaustive(&self) -> bool {
-        !self.state_capped
+        !self.state_capped && !self.timed_out && self.tasks_panicked == 0
     }
 }
 
@@ -98,8 +145,17 @@ impl fmt::Display for ExplorerStats {
             "{} states, {} events, {} memo hits",
             self.states_visited, self.events_applied, self.memo_hits
         )?;
+        if self.resumed_states > 0 {
+            write!(f, ", {} resumed", self.resumed_states)?;
+        }
         if self.state_capped {
             write!(f, " (state cap hit)")?;
+        }
+        if self.timed_out {
+            write!(f, " (timed out)")?;
+        }
+        if self.tasks_panicked > 0 {
+            write!(f, " ({} tasks panicked)", self.tasks_panicked)?;
         }
         Ok(())
     }
@@ -108,8 +164,9 @@ impl fmt::Display for ExplorerStats {
 /// A schedule on which the system breaks a consensus condition.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counterexample {
-    /// The violating schedule (the exact DFS path; see
-    /// [`crate::shrink_counterexample`] for minimization).
+    /// The violating schedule (the lexicographically-least violating
+    /// path within the budget; see [`crate::shrink_counterexample`] for
+    /// minimization).
     pub schedule: Schedule,
     /// The violation the final event of the schedule triggers.
     pub violation: Violation,
@@ -141,17 +198,32 @@ pub struct CrashtestReport {
 
 impl CrashtestReport {
     /// `true` if no violation was found *and* the search covered the whole
-    /// budget (no state cap hit).
+    /// budget (no state cap, timeout, or panicked task).
     pub fn is_certified_clean(&self) -> bool {
         self.counterexample.is_none() && self.stats.exhaustive()
     }
 }
 
-/// The bounded, memoized DFS over crash placements.
+/// The memo key: a configuration plus the per-process crash counts spent
+/// reaching it.
+pub(crate) type MemoKey = (Configuration, Vec<usize>);
+
+/// A memo entry: the largest remaining schedule budget the state was
+/// explored with, and whether the entry came from the persistent memo.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct MemoEntry {
+    pub(crate) remaining: usize,
+    pub(crate) from_disk: bool,
+}
+
+/// The bounded, memoized work-list DFS over crash placements.
 pub struct CrashExplorer<'s> {
     system: &'s System,
     config: CrashtestConfig,
     tracer: Tracer,
+    threads: usize,
+    timeout: Option<Duration>,
+    memo: Option<ExplorerMemo>,
 }
 
 impl<'s> CrashExplorer<'s> {
@@ -161,18 +233,52 @@ impl<'s> CrashExplorer<'s> {
             system,
             config,
             tracer: Tracer::disabled(),
+            threads: 1,
+            timeout: None,
+            memo: None,
         }
     }
 
     /// Attaches a tracer: the exploration is bracketed in a
     /// `crashtest.explore` span, the DFS maintains the
     /// `crashtest.events_applied` / `crashtest.memo_hits` /
-    /// `crashtest.re_explored` counters and a `crashtest.depth` histogram
-    /// (one observation per newly visited state), and the final
-    /// [`ExplorerStats`] are published as `crashtest.*` counters.
+    /// `crashtest.re_explored` / `crashtest.resumed_states` counters and a
+    /// `crashtest.depth` histogram (one observation per newly visited
+    /// state), and the final [`ExplorerStats`] are published as
+    /// `crashtest.*` counters.
     #[must_use]
     pub fn with_tracer(mut self, tracer: Tracer) -> Self {
         self.tracer = tracer;
+        self
+    }
+
+    /// Shards the search across `threads` worker threads. `threads <= 1`
+    /// is the sequential search. Verdict and counterexample are
+    /// bit-identical at any thread count (the lex-least tie-break);
+    /// effort counters may differ because memo sharing is timing-
+    /// dependent.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Bounds the exploration by wall-clock time. On expiry the search
+    /// stops and the verdict is an honest partial
+    /// ([`ExplorerStats::timed_out`]).
+    #[must_use]
+    pub fn with_timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Attaches a persistent memo: certified verdicts and memo facts are
+    /// stored through the `CacheIo` machinery and repeated runs with the
+    /// same system fingerprint and budget triple resume instead of
+    /// restarting ([`ExplorerStats::resumed_states`]).
+    #[must_use]
+    pub fn with_memo(mut self, memo: ExplorerMemo) -> Self {
+        self.memo = Some(memo);
         self
     }
 
@@ -188,53 +294,379 @@ impl<'s> CrashExplorer<'s> {
     ///
     /// Deterministic: at each configuration the candidate events are tried
     /// in a fixed order (steps of `p0..pn`, then crashes of `p0..pn`), so
-    /// the returned counterexample is the same on every run.
+    /// the returned counterexample is the lexicographically-least
+    /// violating schedule — the same at every thread count and on every
+    /// run, warm or cold.
     pub fn explore(&self) -> CrashtestReport {
         let span = self.tracer.span_with(
             "crashtest.explore",
             i64::try_from(self.config.max_depth).unwrap_or(i64::MAX),
             &format!(
-                "crashes={} states={}",
-                self.config.max_crashes, self.config.max_states
+                "crashes={} states={} threads={}",
+                self.config.max_crashes, self.config.max_states, self.threads
             ),
         );
-        let mut search = Search {
-            system: self.system,
-            budget: self.config,
-            visited: HashMap::new(),
-            path: Vec::new(),
-            stats: ExplorerStats::default(),
-            events: self.tracer.counter("crashtest.events_applied"),
-            memo_hits: self.tracer.counter("crashtest.memo_hits"),
-            re_explored: self.tracer.counter("crashtest.re_explored"),
-            depths: self.tracer.histogram("crashtest.depth"),
-        };
         let initial = self.system.initial_config();
         // A protocol can violate before any event (conflicting or invalid
         // initial-state outputs).
         if let Some(violation) = self.system.check_initial_outputs(&initial) {
             let report = CrashtestReport {
-                stats: search.stats,
+                stats: ExplorerStats::default(),
                 counterexample: Some(self.diagnosed(Schedule::new(), violation)),
             };
             self.publish(&report, &span);
             return report;
         }
         let crash_counts = vec![0usize; self.system.n()];
+
+        // Warm start: a stored verdict for this exact (fingerprint,
+        // budget) short-circuits; stored certified-clean facts pre-seed
+        // the memo so the search collapses onto the disk's work.
+        let mut facts: Vec<(MemoKey, usize)> = Vec::new();
+        let mut loaded_from_disk = false;
+        if let Some(memo) = &self.memo {
+            match memo.load(self.system, &self.config, &self.tracer) {
+                MemoLoad::Report(mut report) => {
+                    report.counterexample = report
+                        .counterexample
+                        .map(|cex| self.diagnosed(cex.schedule, cex.violation));
+                    self.tracer
+                        .counter("crashtest.resumed_states")
+                        .add(report.stats.resumed_states);
+                    self.publish(&report, &span);
+                    return report;
+                }
+                MemoLoad::Facts(f) => {
+                    facts = f;
+                    loaded_from_disk = true;
+                }
+                MemoLoad::Miss => {}
+            }
+        }
+
+        let deadline = self.timeout.map(|t| Instant::now() + t);
+        let (stats, found, certified) = if self.threads <= 1 {
+            self.explore_sequential(&initial, &crash_counts, facts, deadline)
+        } else {
+            self.explore_parallel(&initial, &crash_counts, facts, deadline)
+        };
+        let report = CrashtestReport {
+            stats,
+            counterexample: found.map(|(path, v)| self.diagnosed(Schedule::from_events(path), v)),
+        };
+        if let Some(memo) = &self.memo {
+            // A warm run's memo collapsed onto the disk facts; re-storing
+            // it would shrink the file. Only cold results are persisted.
+            if !loaded_from_disk {
+                memo.store(self.system, &self.config, &report, &certified, &self.tracer);
+            }
+        }
+        self.publish(&report, &span);
+        report
+    }
+
+    /// The sequential work-list search (also the `threads == 1` mode).
+    fn explore_sequential(
+        &self,
+        initial: &Configuration,
+        crash_counts: &[usize],
+        facts: Vec<(MemoKey, usize)>,
+        deadline: Option<Instant>,
+    ) -> SearchResult {
+        let mut search = Search::new(self.system, self.config, &self.tracer, deadline, None, 0);
+        for (key, remaining) in facts {
+            search.visited.insert(
+                key,
+                MemoEntry {
+                    remaining,
+                    from_disk: true,
+                },
+            );
+        }
         search.visited.insert(
-            (initial.clone(), crash_counts.clone()),
-            self.config.max_depth,
+            (initial.clone(), crash_counts.to_vec()),
+            MemoEntry {
+                remaining: self.config.max_depth,
+                from_disk: false,
+            },
         );
         search.stats.states_visited = 1;
         search.depths.observe(0);
-        let violation = search.dfs(&initial, &crash_counts, 0);
-        let report = CrashtestReport {
-            stats: search.stats,
-            counterexample: violation
-                .map(|v| self.diagnosed(Schedule::from_events(search.path.iter().copied()), v)),
+        let outcome = search.run(initial.clone(), crash_counts.to_vec(), 0);
+        match outcome {
+            TaskOutcome::Violation(v) => (search.stats, Some((search.path, v)), Vec::new()),
+            TaskOutcome::CleanComplete => {
+                let certified = if search.stats.exhaustive() {
+                    search
+                        .visited
+                        .into_iter()
+                        .map(|(k, e)| (k, e.remaining))
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (search.stats, None, certified)
+            }
+            TaskOutcome::Aborted => (search.stats, None, Vec::new()),
+        }
+    }
+
+    /// The sharded search: expand the frontier breadth-first into
+    /// lex-ordered, prefix-free task roots, then run a work-list DFS per
+    /// task across the worker pool.
+    fn explore_parallel(
+        &self,
+        initial: &Configuration,
+        crash_counts: &[usize],
+        facts: Vec<(MemoKey, usize)>,
+        deadline: Option<Instant>,
+    ) -> SearchResult {
+        let n = self.system.n();
+        let shared = SharedCtx {
+            certified: RwLock::new(
+                facts
+                    .into_iter()
+                    .map(|(k, r)| {
+                        (
+                            k,
+                            MemoEntry {
+                                remaining: r,
+                                from_disk: true,
+                            },
+                        )
+                    })
+                    .collect(),
+            ),
+            total_states: AtomicU64::new(1),
+            capped: AtomicBool::new(false),
+            timed_out: AtomicBool::new(false),
+            best_task: AtomicUsize::new(usize::MAX),
         };
-        self.publish(&report, &span);
-        report
+        let events = self.tracer.counter("crashtest.events_applied");
+        let memo_hits = self.tracer.counter("crashtest.memo_hits");
+        let resumed = self.tracer.counter("crashtest.resumed_states");
+        let depths = self.tracer.histogram("crashtest.depth");
+
+        let mut stats = ExplorerStats {
+            states_visited: 1,
+            ..ExplorerStats::default()
+        };
+        depths.observe(0);
+
+        // Phase 1: breadth-first expansion into task roots. Levels are
+        // generated in lex order (nodes in order × candidates in order),
+        // so the frontier is a lex-sorted, prefix-free set of subtree
+        // roots. Violations found here are collected, their subtrees
+        // pruned; certified disk facts prune clean subtrees early.
+        let target = self.threads * 4;
+        let mut frontier = vec![ExpNode {
+            config: initial.clone(),
+            counts: crash_counts.to_vec(),
+            path: Vec::new(),
+        }];
+        let mut depth = 0usize;
+        let mut violations: Vec<(Vec<Event>, Violation)> = Vec::new();
+        'expand: while !frontier.is_empty()
+            && frontier.len() < target
+            && depth < self.config.max_depth
+        {
+            if deadline.is_some_and(|d| Instant::now() >= d) {
+                stats.timed_out = true;
+                frontier.clear();
+                break;
+            }
+            let mut next_level = Vec::with_capacity(frontier.len() * 2);
+            for node in &frontier {
+                for idx in 0..2 * n {
+                    let Some(event) = enabled_candidate(
+                        self.system,
+                        &node.config,
+                        &node.counts,
+                        idx,
+                        self.config.max_crashes,
+                    ) else {
+                        continue;
+                    };
+                    let mut next_config = node.config.clone();
+                    let effect = self.system.apply(&mut next_config, event);
+                    stats.events_applied += 1;
+                    events.incr();
+                    let mut path = node.path.clone();
+                    path.push(event);
+                    if let Some(v) = effect.violation {
+                        violations.push((path, v));
+                        continue;
+                    }
+                    let mut next_counts = node.counts.clone();
+                    if event.is_crash() {
+                        next_counts[event.process().index()] += 1;
+                    }
+                    let remaining = self.config.max_depth - (depth + 1);
+                    let key = (next_config, next_counts);
+                    if let Some(entry) = shared.certified.read().unwrap().get(&key) {
+                        if entry.remaining >= remaining {
+                            stats.memo_hits += 1;
+                            memo_hits.incr();
+                            if entry.from_disk {
+                                stats.resumed_states += 1;
+                                resumed.incr();
+                            }
+                            continue;
+                        }
+                    }
+                    let total = shared.total_states.fetch_add(1, Ordering::SeqCst);
+                    if total >= self.config.max_states as u64 {
+                        shared.capped.store(true, Ordering::SeqCst);
+                        stats.state_capped = true;
+                        frontier = Vec::new();
+                        break 'expand;
+                    }
+                    stats.states_visited += 1;
+                    depths.observe(depth as u64 + 1);
+                    next_level.push(ExpNode {
+                        config: key.0,
+                        counts: key.1,
+                        path,
+                    });
+                }
+            }
+            frontier = next_level;
+            depth += 1;
+        }
+        if depth >= self.config.max_depth && !frontier.is_empty() {
+            // Roots sitting exactly at the depth cap: their tasks would
+            // only set the flag and return, so record it here.
+            stats.depth_limited = true;
+            frontier.clear();
+        }
+
+        // A violation found during expansion makes every lex-later task
+        // root irrelevant: its subtree can only contain lex-greater
+        // violations.
+        let mut tasks = frontier;
+        if let Some((vpath, _)) = violations.iter().min_by(|a, b| lex_cmp(n, &a.0, &b.0)) {
+            let vpath = vpath.clone();
+            tasks.retain(|t| lex_cmp(n, &t.path, &vpath) == std::cmp::Ordering::Less);
+        }
+
+        // Phase 2: workers claim tasks in lex index order; each task is a
+        // panic-isolated sequential work-list DFS.
+        let found: Mutex<Vec<(Vec<Event>, Violation)>> = Mutex::new(violations);
+        let panicked = AtomicU64::new(0);
+        if !tasks.is_empty() {
+            let next_task = AtomicUsize::new(0);
+            let worker_count = self.threads.min(tasks.len());
+            let task_stats: Mutex<Vec<ExplorerStats>> = Mutex::new(Vec::new());
+            std::thread::scope(|scope| {
+                for _ in 0..worker_count {
+                    scope.spawn(|| {
+                        let mut local = ExplorerStats::default();
+                        loop {
+                            let i = next_task.fetch_add(1, Ordering::SeqCst);
+                            if i >= tasks.len() {
+                                break;
+                            }
+                            // A lex-earlier task already found a
+                            // violation: this task's subtree is
+                            // irrelevant.
+                            if shared.best_task.load(Ordering::SeqCst) < i {
+                                continue;
+                            }
+                            let task = &tasks[i];
+                            let run = catch_unwind(AssertUnwindSafe(|| {
+                                self.run_task(task, i, &shared, deadline)
+                            }));
+                            match run {
+                                Ok((TaskOutcome::Violation(v), s, path, _)) => {
+                                    shared.best_task.fetch_min(i, Ordering::SeqCst);
+                                    found.lock().unwrap().push((path, v));
+                                    merge_stats(&mut local, s);
+                                }
+                                Ok((TaskOutcome::CleanComplete, s, _, visited)) => {
+                                    // Every entry of a violation-free,
+                                    // fully-explored task is a certified
+                                    // clean fact, safe to share.
+                                    let mut map = shared.certified.write().unwrap();
+                                    for (k, e) in visited {
+                                        match map.get(&k) {
+                                            Some(old) if old.remaining >= e.remaining => {}
+                                            _ => {
+                                                map.insert(k, e);
+                                            }
+                                        }
+                                    }
+                                    drop(map);
+                                    merge_stats(&mut local, s);
+                                }
+                                Ok((TaskOutcome::Aborted, s, _, _)) => merge_stats(&mut local, s),
+                                Err(_) => {
+                                    panicked.fetch_add(1, Ordering::SeqCst);
+                                }
+                            }
+                        }
+                        task_stats.lock().unwrap().push(local);
+                    });
+                }
+            });
+            for s in task_stats.into_inner().unwrap() {
+                merge_stats(&mut stats, s);
+            }
+        }
+
+        stats.state_capped |= shared.capped.load(Ordering::SeqCst);
+        stats.timed_out |= shared.timed_out.load(Ordering::SeqCst);
+        stats.tasks_panicked += panicked.load(Ordering::SeqCst);
+
+        let found = found.into_inner().unwrap();
+        let best = found.into_iter().min_by(|a, b| lex_cmp(n, &a.0, &b.0));
+        let certified = if best.is_none() && stats.exhaustive() {
+            shared
+                .certified
+                .into_inner()
+                .unwrap()
+                .into_iter()
+                .map(|(k, e)| (k, e.remaining))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (stats, best, certified)
+    }
+
+    /// Runs one sharded task: a work-list DFS from `task`'s root with a
+    /// task-local memo, consulting the shared certified-clean map.
+    fn run_task(
+        &self,
+        task: &ExpNode,
+        index: usize,
+        shared: &SharedCtx,
+        deadline: Option<Instant>,
+    ) -> (
+        TaskOutcome,
+        ExplorerStats,
+        Vec<Event>,
+        HashMap<MemoKey, MemoEntry>,
+    ) {
+        let mut search = Search::new(
+            self.system,
+            self.config,
+            &self.tracer,
+            deadline,
+            Some(shared),
+            index,
+        );
+        search.path = task.path.clone();
+        // The root was already counted as a visited state during
+        // expansion; seed the local memo without re-counting it.
+        search.visited.insert(
+            (task.config.clone(), task.counts.clone()),
+            MemoEntry {
+                remaining: self.config.max_depth - task.path.len(),
+                from_disk: false,
+            },
+        );
+        let outcome = search.run(task.config.clone(), task.counts.clone(), task.path.len());
+        (outcome, search.stats, search.path, search.visited)
     }
 
     /// Publishes the final [`ExplorerStats`] as absolute `crashtest.*`
@@ -254,6 +686,11 @@ impl<'s> CrashExplorer<'s> {
             "crashtest.state_capped",
             u64::from(report.stats.state_capped),
         );
+        self.tracer
+            .set("crashtest.timed_out", u64::from(report.stats.timed_out));
+        self.tracer
+            .set("crashtest.tasks_panicked", report.stats.tasks_panicked);
+        self.tracer.set("crashtest.threads", self.threads as u64);
         self.tracer.set(
             "crashtest.counterexamples",
             u64::from(report.counterexample.is_some()),
@@ -280,17 +717,148 @@ impl<'s> CrashExplorer<'s> {
     }
 }
 
-/// The mutable half of the DFS (split from the explorer so the recursion
-/// can borrow it all mutably at once).
-struct Search<'s> {
-    system: &'s System,
+/// `(stats, lex-least violation with its path, certified clean facts)` —
+/// the internal result of either execution mode. Facts are non-empty only
+/// for certified-clean runs (they feed the persistent memo).
+type SearchResult = (
+    ExplorerStats,
+    Option<(Vec<Event>, Violation)>,
+    Vec<(MemoKey, usize)>,
+);
+
+/// A frontier node of the breadth-first expansion (a task root).
+struct ExpNode {
+    config: Configuration,
+    counts: Vec<usize>,
+    path: Vec<Event>,
+}
+
+/// State shared across worker tasks.
+struct SharedCtx {
+    /// Certified clean facts: entries published by violation-free,
+    /// fully-explored tasks (plus disk-loaded facts). Sound to prune on
+    /// from any task — unlike pre-order local entries, which are only
+    /// certain once their task completes clean.
+    certified: RwLock<HashMap<MemoKey, MemoEntry>>,
+    /// Freshly visited states across all tasks, for the global state cap.
+    total_states: AtomicU64,
+    capped: AtomicBool,
+    timed_out: AtomicBool,
+    /// The smallest task index that found a violation; every lex-later
+    /// task is skipped or aborted (its violations would be lex-greater).
+    best_task: AtomicUsize,
+}
+
+/// The candidate event at `idx` (`0..n` steps, `n..2n` crashes), or `None`
+/// if it is skipped at this configuration: steps of output states and
+/// crashes of budget-exhausted or initial-state processes are no-ops.
+fn enabled_candidate(
+    system: &System,
+    config: &Configuration,
+    counts: &[usize],
+    idx: usize,
+    max_crashes: usize,
+) -> Option<Event> {
+    let n = system.n();
+    if idx < n {
+        let p = ProcessId(idx as u16);
+        // A step in an output state is a no-op; skip it.
+        if matches!(system.action_of(config, p), Action::Output(_)) {
+            return None;
+        }
+        Some(Event::Step(p))
+    } else {
+        let p = ProcessId((idx - n) as u16);
+        if counts[p.index()] >= max_crashes {
+            return None;
+        }
+        // A crash of a process already in its initial state is a no-op:
+        // the state reset changes nothing, and any re-output it would
+        // re-check was already checked when an earlier event recorded the
+        // conflicting value.
+        if config.states[p.index()]
+            == system
+                .program()
+                .initial_state(p, system.inputs()[p.index()])
+        {
+            return None;
+        }
+        Some(Event::Crash(p))
+    }
+}
+
+/// Total order on schedules matching the DFS candidate order: steps of
+/// `p0..pn` before crashes of `p0..pn`, position by position; a proper
+/// prefix sorts first. DFS preorder enumerates paths in exactly this
+/// order, so "first counterexample of the sequential search" and
+/// "lex-least violating schedule" coincide.
+fn lex_cmp(n: usize, a: &[Event], b: &[Event]) -> std::cmp::Ordering {
+    let rank = |e: &Event| match e {
+        Event::Step(p) => p.index(),
+        Event::Crash(p) => n + p.index(),
+    };
+    for (x, y) in a.iter().zip(b.iter()) {
+        match rank(x).cmp(&rank(y)) {
+            std::cmp::Ordering::Equal => continue,
+            other => return other,
+        }
+    }
+    a.len().cmp(&b.len())
+}
+
+fn merge_stats(into: &mut ExplorerStats, from: ExplorerStats) {
+    into.states_visited += from.states_visited;
+    into.events_applied += from.events_applied;
+    into.memo_hits += from.memo_hits;
+    into.re_explored += from.re_explored;
+    into.resumed_states += from.resumed_states;
+    into.tasks_panicked += from.tasks_panicked;
+    into.depth_limited |= from.depth_limited;
+    into.state_capped |= from.state_capped;
+    into.timed_out |= from.timed_out;
+}
+
+/// How one task (or the whole sequential search) ended.
+enum TaskOutcome {
+    /// A violation was found; the path is left in `Search::path`.
+    Violation(Violation),
+    /// The subtree was fully explored without a violation: every local
+    /// memo entry is a certified clean fact.
+    CleanComplete,
+    /// Cut short by the state cap, the deadline, or a lex-earlier task's
+    /// counterexample; local entries are *not* certified.
+    Aborted,
+}
+
+/// One explicit DFS frame: a configuration with the index of the next
+/// candidate event to try. The frame owns the path slot its arrival event
+/// occupies (`has_event` is false only for the search root).
+struct Frame {
+    config: Configuration,
+    counts: Vec<usize>,
+    depth: usize,
+    next: usize,
+    has_event: bool,
+}
+
+/// How the memo judged a freshly generated child state.
+enum MemoVerdict {
+    Explore,
+    Skip,
+    Capped,
+}
+
+/// The mutable half of one work-list DFS (the whole search in sequential
+/// mode, one task in sharded mode).
+struct Search<'a> {
+    system: &'a System,
     budget: CrashtestConfig,
     /// Memo: for each state already explored *from*, the largest remaining
     /// schedule budget (`max_depth - depth`) it was explored with. Crash
     /// counts are part of the key, and a state reached again with *more*
     /// remaining budget is re-explored — the same configuration with more
     /// budget (crash or depth) left can reach strictly more.
-    visited: HashMap<(Configuration, Vec<usize>), usize>,
+    visited: HashMap<MemoKey, MemoEntry>,
     path: Vec<Event>,
     stats: ExplorerStats,
     /// Live instrument handles (no-ops under a disabled tracer), resolved
@@ -298,62 +866,92 @@ struct Search<'s> {
     events: Counter,
     memo_hits: Counter,
     re_explored: Counter,
+    resumed: Counter,
     depths: HistogramHandle,
+    deadline: Option<Instant>,
+    shared: Option<&'a SharedCtx>,
+    task_index: usize,
 }
 
-impl Search<'_> {
-    /// Explores every enabled event from `config`; on a violation, leaves
-    /// the violating schedule in `self.path` and unwinds immediately.
-    fn dfs(
-        &mut self,
-        config: &Configuration,
-        crash_counts: &[usize],
-        depth: usize,
-    ) -> Option<Violation> {
-        if depth >= self.budget.max_depth {
-            self.stats.depth_limited = true;
-            return None;
+impl<'a> Search<'a> {
+    fn new(
+        system: &'a System,
+        budget: CrashtestConfig,
+        tracer: &Tracer,
+        deadline: Option<Instant>,
+        shared: Option<&'a SharedCtx>,
+        task_index: usize,
+    ) -> Self {
+        Search {
+            system,
+            budget,
+            visited: HashMap::new(),
+            path: Vec::new(),
+            stats: ExplorerStats::default(),
+            events: tracer.counter("crashtest.events_applied"),
+            memo_hits: tracer.counter("crashtest.memo_hits"),
+            re_explored: tracer.counter("crashtest.re_explored"),
+            resumed: tracer.counter("crashtest.resumed_states"),
+            depths: tracer.histogram("crashtest.depth"),
+            deadline,
+            shared,
+            task_index,
         }
+    }
+
+    /// Explores every enabled event from the root, depth-first via an
+    /// explicit frame stack (no recursion: `--depth` in the thousands is
+    /// a heap allocation, not a stack overflow). On a violation, the
+    /// violating schedule is left in `self.path`.
+    fn run(&mut self, config: Configuration, counts: Vec<usize>, depth: usize) -> TaskOutcome {
         let n = self.system.n();
-        let candidates = (0..n)
-            .map(|i| Event::Step(ProcessId(i as u16)))
-            .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))));
-        for event in candidates {
-            let p = event.process();
-            match event {
-                // A step in an output state is a no-op; skip it.
-                Event::Step(_) => {
-                    if matches!(self.system.action_of(config, p), Action::Output(_)) {
-                        continue;
-                    }
-                }
-                Event::Crash(_) => {
-                    if crash_counts[p.index()] >= self.budget.max_crashes {
-                        continue;
-                    }
-                    // A crash of a process already in its initial state is
-                    // a no-op: the state reset changes nothing, and any
-                    // re-output it would re-check was already checked when
-                    // an earlier event recorded the conflicting value.
-                    if config.states[p.index()]
-                        == self
-                            .system
-                            .program()
-                            .initial_state(p, self.system.inputs()[p.index()])
-                    {
-                        continue;
-                    }
-                }
+        let mut stack = vec![Frame {
+            config,
+            counts,
+            depth,
+            next: 0,
+            has_event: false,
+        }];
+        let mut ticks: u32 = 0;
+        while !stack.is_empty() {
+            ticks = ticks.wrapping_add(1);
+            // Checked on the first iteration (an already-expired deadline
+            // aborts before any work) and every 1024th thereafter.
+            if ticks & 0x3FF == 1 && self.should_abort() {
+                return TaskOutcome::Aborted;
             }
-            let mut next = config.clone();
-            let effect = self.system.apply(&mut next, event);
+            let top = stack.len() - 1;
+            if stack[top].depth >= self.budget.max_depth {
+                self.stats.depth_limited = true;
+                self.pop_frame(&mut stack);
+                continue;
+            }
+            if stack[top].next >= 2 * n {
+                self.pop_frame(&mut stack);
+                continue;
+            }
+            let idx = stack[top].next;
+            stack[top].next += 1;
+            let frame = &stack[top];
+            let Some(event) = enabled_candidate(
+                self.system,
+                &frame.config,
+                &frame.counts,
+                idx,
+                self.budget.max_crashes,
+            ) else {
+                continue;
+            };
+            let p = event.process();
+            let mut next_config = frame.config.clone();
+            let effect = self.system.apply(&mut next_config, event);
             self.stats.events_applied += 1;
             self.events.incr();
             self.path.push(event);
             if let Some(violation) = effect.violation {
-                return Some(violation);
+                return TaskOutcome::Violation(violation);
             }
-            let mut next_counts = crash_counts.to_vec();
+            let mut next_counts = frame.counts.to_vec();
             if event.is_crash() {
                 next_counts[p.index()] += 1;
             }
@@ -362,42 +960,134 @@ impl Search<'_> {
             // budget left — skipping on mere membership would prune
             // in-budget schedules when a state first reached deep is
             // reached again along a shorter prefix.
-            let remaining = self.budget.max_depth - (depth + 1);
-            let key = (next, next_counts);
-            let explore = match self.visited.get(&key) {
-                Some(&seen) => {
-                    if seen >= remaining {
-                        self.stats.memo_hits += 1;
-                        self.memo_hits.incr();
-                        false
-                    } else {
-                        self.stats.re_explored += 1;
-                        self.re_explored.incr();
-                        self.visited.insert(key.clone(), remaining);
-                        true
-                    }
+            let child_depth = frame.depth + 1;
+            let remaining = self.budget.max_depth - child_depth;
+            let key = (next_config, next_counts);
+            match self.memo_check(&key, remaining, child_depth) {
+                MemoVerdict::Explore => {
+                    let (config, counts) = key;
+                    stack.push(Frame {
+                        config,
+                        counts,
+                        depth: child_depth,
+                        next: 0,
+                        has_event: true,
+                    });
                 }
-                None => {
-                    if self.visited.len() >= self.budget.max_states {
-                        self.stats.state_capped = true;
-                        false
-                    } else {
-                        self.stats.states_visited += 1;
-                        self.depths.observe(depth as u64 + 1);
-                        self.visited.insert(key.clone(), remaining);
-                        true
-                    }
+                MemoVerdict::Skip => {
+                    self.path.pop();
                 }
-            };
-            if explore {
-                let (next, next_counts) = key;
-                if let Some(v) = self.dfs(&next, &next_counts, depth + 1) {
-                    return Some(v);
+                MemoVerdict::Capped => {
+                    // Walking the rest of the frontier cannot restore
+                    // exhaustiveness; stop burning events immediately.
+                    self.stats.state_capped = true;
+                    if let Some(shared) = self.shared {
+                        shared.capped.store(true, Ordering::SeqCst);
+                    }
+                    return TaskOutcome::Aborted;
                 }
             }
-            self.path.pop();
         }
-        None
+        TaskOutcome::CleanComplete
+    }
+
+    fn pop_frame(&mut self, stack: &mut Vec<Frame>) {
+        if let Some(frame) = stack.pop() {
+            if frame.has_event {
+                self.path.pop();
+            }
+        }
+    }
+
+    /// Looks a child up in the local memo (then the shared certified map,
+    /// in sharded mode) and decides whether to explore it.
+    fn memo_check(&mut self, key: &MemoKey, remaining: usize, child_depth: usize) -> MemoVerdict {
+        if let Some(entry) = self.visited.get(key).copied() {
+            if entry.remaining >= remaining {
+                self.hit(entry);
+                return MemoVerdict::Skip;
+            }
+            if let Some(entry) = self.shared_lookup(key) {
+                if entry.remaining >= remaining {
+                    self.hit(entry);
+                    self.visited.insert(key.clone(), entry);
+                    return MemoVerdict::Skip;
+                }
+            }
+            self.stats.re_explored += 1;
+            self.re_explored.incr();
+            self.visited.insert(
+                key.clone(),
+                MemoEntry {
+                    remaining,
+                    from_disk: false,
+                },
+            );
+            return MemoVerdict::Explore;
+        }
+        if let Some(entry) = self.shared_lookup(key) {
+            if entry.remaining >= remaining {
+                self.hit(entry);
+                self.visited.insert(key.clone(), entry);
+                return MemoVerdict::Skip;
+            }
+        }
+        // A genuinely fresh state: counts against the global cap.
+        let over_cap = match self.shared {
+            Some(shared) => {
+                let total = shared.total_states.fetch_add(1, Ordering::SeqCst);
+                total >= self.budget.max_states as u64
+            }
+            None => self.stats.states_visited >= self.budget.max_states as u64,
+        };
+        if over_cap {
+            return MemoVerdict::Capped;
+        }
+        self.stats.states_visited += 1;
+        self.depths.observe(child_depth as u64);
+        self.visited.insert(
+            key.clone(),
+            MemoEntry {
+                remaining,
+                from_disk: false,
+            },
+        );
+        MemoVerdict::Explore
+    }
+
+    fn hit(&mut self, entry: MemoEntry) {
+        self.stats.memo_hits += 1;
+        self.memo_hits.incr();
+        if entry.from_disk {
+            self.stats.resumed_states += 1;
+            self.resumed.incr();
+        }
+    }
+
+    fn shared_lookup(&self, key: &MemoKey) -> Option<MemoEntry> {
+        self.shared
+            .and_then(|s| s.certified.read().unwrap().get(key).copied())
+    }
+
+    fn should_abort(&mut self) -> bool {
+        if let Some(d) = self.deadline {
+            if Instant::now() >= d {
+                self.stats.timed_out = true;
+                if let Some(shared) = self.shared {
+                    shared.timed_out.store(true, Ordering::SeqCst);
+                }
+                return true;
+            }
+        }
+        if let Some(shared) = self.shared {
+            if shared.capped.load(Ordering::SeqCst) || shared.timed_out.load(Ordering::SeqCst) {
+                return true;
+            }
+            if shared.best_task.load(Ordering::SeqCst) < self.task_index {
+                return true;
+            }
+        }
+        false
     }
 }
 
@@ -756,5 +1446,169 @@ mod tests {
         .explore();
         assert!(report.stats.state_capped);
         assert!(!report.is_certified_clean());
+    }
+
+    /// A one-process program whose crash-free run is a single acyclic
+    /// chain: each step increments a local counter until it outputs at
+    /// `len`. Every state along the chain is distinct, so the explorer
+    /// must hold `len` frames at once — the regression shape for the old
+    /// recursive DFS, which overflowed the thread stack at `--depth` in
+    /// the thousands.
+    struct ChainProgram {
+        counter: ObjectId,
+        len: u32,
+    }
+
+    impl Program for ChainProgram {
+        fn name(&self) -> String {
+            format!("chain:{}", self.len)
+        }
+
+        fn initial_state(&self, _pid: ProcessId, _input: u32) -> LocalState {
+            LocalState::word1(0)
+        }
+
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            if state.word(0) >= self.len {
+                Action::Output(0)
+            } else {
+                Action::Invoke {
+                    object: self.counter,
+                    op: OpId::new(0),
+                }
+            }
+        }
+
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            _response: Response,
+        ) -> LocalState {
+            LocalState::word1(state.word(0) + 1)
+        }
+    }
+
+    fn chain_system(len: u32) -> System {
+        let mut layout = HeapLayout::new();
+        let counter = layout.add_object("F", Arc::new(FetchAndAdd::new(4)), ValueId::new(0));
+        System::new(
+            Arc::new(ChainProgram { counter, len }),
+            Arc::new(layout),
+            vec![0],
+        )
+    }
+
+    #[test]
+    fn depth_5000_does_not_overflow_the_stack() {
+        // Regression for the recursive DFS: one frame per schedule event
+        // meant `--depth 5000` aborted the process. The work-list keeps
+        // frames on the heap.
+        let sys = chain_system(5000);
+        let report = CrashExplorer::new(
+            &sys,
+            CrashtestConfig {
+                max_crashes: 0,
+                max_depth: 5000,
+                max_states: 500_000,
+            },
+        )
+        .explore();
+        assert!(report.is_certified_clean(), "{:?}", report.counterexample);
+        // The chain has exactly 5001 states: initial plus one per step.
+        assert_eq!(report.stats.states_visited, 5001);
+        assert_eq!(report.stats.events_applied, 5000);
+    }
+
+    #[test]
+    fn state_cap_short_circuits_the_search() {
+        // Regression: the old DFS kept walking (and applying events) under
+        // every remaining frame after the cap tripped, although no new
+        // state could be explored. The work-list returns immediately, so
+        // the whole run applies at most (max_states + 1) * 2n events —
+        // each explored frame tries at most 2n candidates.
+        let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+        let full = explore(&sys);
+        assert!(full.is_certified_clean());
+        let cap = 10u64;
+        let capped = CrashExplorer::new(
+            &sys,
+            CrashtestConfig {
+                max_states: cap as usize,
+                ..Default::default()
+            },
+        )
+        .explore();
+        assert!(capped.stats.state_capped);
+        let n = sys.n() as u64;
+        let bound = (cap + 1) * 2 * n;
+        assert!(
+            capped.stats.events_applied <= bound,
+            "events kept growing after the cap: {} > {bound}",
+            capped.stats.events_applied
+        );
+        assert!(capped.stats.events_applied < full.stats.events_applied);
+    }
+
+    #[test]
+    fn sharded_search_is_bit_identical_to_sequential() {
+        // The acceptance bar of the sharded rewrite: verdict and chosen
+        // counterexample (the lex-least violating schedule) are identical
+        // at every thread count; only effort counters may differ.
+        let systems: Vec<(&str, System, CrashtestConfig)> = vec![
+            (
+                "trap",
+                trap_system(),
+                CrashtestConfig {
+                    max_crashes: 1,
+                    max_depth: 5,
+                    ..Default::default()
+                },
+            ),
+            (
+                "tas",
+                TasConsensus::system(vec![0, 1]),
+                CrashtestConfig::default(),
+            ),
+            (
+                "tnn-wait-free",
+                TnnWaitFree::system(2, 1, vec![0, 1]),
+                CrashtestConfig::default(),
+            ),
+            (
+                "tnn-recoverable",
+                TnnRecoverable::system(3, 1, vec![0, 1]),
+                CrashtestConfig::default(),
+            ),
+        ];
+        for (name, sys, cfg) in &systems {
+            let seq = CrashExplorer::new(sys, *cfg).explore();
+            for threads in [2, 4] {
+                let par = CrashExplorer::new(sys, *cfg)
+                    .with_threads(threads)
+                    .explore();
+                assert_eq!(
+                    par.counterexample, seq.counterexample,
+                    "{name} diverges at {threads} threads"
+                );
+                assert_eq!(
+                    par.is_certified_clean(),
+                    seq.is_certified_clean(),
+                    "{name} certification diverges at {threads} threads"
+                );
+                assert_eq!(par.stats.exhaustive(), seq.stats.exhaustive());
+            }
+        }
+    }
+
+    #[test]
+    fn zero_timeout_reports_an_honest_partial() {
+        let sys = TnnRecoverable::system(5, 2, vec![0, 1]);
+        let report = CrashExplorer::new(&sys, CrashtestConfig::default())
+            .with_timeout(Duration::from_secs(0))
+            .explore();
+        assert!(report.stats.timed_out);
+        assert!(!report.is_certified_clean());
+        assert!(report.counterexample.is_none());
     }
 }

@@ -3,10 +3,16 @@
 //! The paper's adversary chooses *where* processes crash; correctness means
 //! surviving every choice. This crate makes that quantifier executable:
 //!
-//! * [`CrashExplorer`] — a bounded, memoized, deterministic DFS over the
-//!   abstract executor that enumerates every crash placement within a
-//!   per-process crash budget and a depth cap, instead of sampling
-//!   placements from an RNG;
+//! * [`CrashExplorer`] — a bounded, memoized, deterministic work-list
+//!   search over the abstract executor that enumerates every crash
+//!   placement within a per-process crash budget and a depth cap, instead
+//!   of sampling placements from an RNG; the frontier shards across a
+//!   worker pool ([`CrashExplorer::with_threads`]) with a bit-identical
+//!   verdict and counterexample at any thread count;
+//! * [`ExplorerMemo`] — persistence for the explorer's verdicts and
+//!   certified-clean memo facts through the `rcn-decide` `CacheIo`
+//!   machinery, keyed by [`system_fingerprint`] plus the budget triple,
+//!   so repeated `crashtest` runs resume instead of restarting;
 //! * [`shrink_schedule`] / [`shrink_counterexample`] — delta-debugging
 //!   reduction of a violating schedule to a 1-minimal one, so the reported
 //!   counterexample contains only necessary events;
@@ -37,6 +43,7 @@
 
 mod diagnose;
 mod explorer;
+mod memo;
 mod replay;
 mod shrink;
 
@@ -44,6 +51,7 @@ pub use diagnose::{diagnose, Diagnosis, Divergence};
 pub use explorer::{
     Counterexample, CrashExplorer, CrashtestConfig, CrashtestReport, ExploreStats, ExplorerStats,
 };
+pub use memo::{system_fingerprint, ExplorerMemo, EXPLORER_MEMO_VERSION};
 pub use replay::{replay, replay_traced, ReplayReport};
 pub use shrink::{
     shrink_counterexample, shrink_counterexample_traced, shrink_schedule, shrink_schedule_traced,
