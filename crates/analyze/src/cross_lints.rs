@@ -257,6 +257,7 @@ impl ProgramLint for CrossCrashtest {
                 max_crashes: self.max_crashes,
                 max_depth: self.max_depth,
                 max_states: self.max_states,
+                ..Default::default()
             },
         )
         .with_threads(2)
@@ -267,6 +268,7 @@ impl ProgramLint for CrossCrashtest {
                 max_crashes: self.max_crashes,
                 max_depth: self.max_depth,
                 max_states: self.max_states,
+                ..Default::default()
             },
         );
         // A violation verdict is budget-exact on both sides; only a clean
@@ -429,6 +431,7 @@ impl ProgramLint for ReplayBridge {
                 max_crashes: self.max_crashes,
                 max_depth: self.max_depth,
                 max_states: self.max_states,
+                ..Default::default()
             },
         );
         if let Some(cex) = &bfs.counterexample {

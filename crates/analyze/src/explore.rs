@@ -362,7 +362,7 @@ impl CrashSearch<'_> {
             let effect = self.sys.apply(&mut next, event);
             self.events.push(event);
             let mut new_firsts = firsts.clone();
-            if let Some((pid, v)) = effect.output {
+            for &(pid, v) in &effect.outputs {
                 match firsts[pid.index()] {
                     Some(w) if w != v => return Some((pid, w, v)),
                     _ => new_firsts[pid.index()] = Some(v),

@@ -50,6 +50,7 @@ fn bfs_vs_dfs(c: &mut Criterion, recorder: &mut BenchRecorder) {
         max_crashes: mc_config.max_crashes,
         max_depth: mc_config.max_depth,
         max_states: mc_config.max_states,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("mc_check");
     group.sample_size(20);
@@ -100,6 +101,7 @@ fn bfs_throughput(c: &mut Criterion, recorder: &mut BenchRecorder) {
         max_crashes: 2,
         max_depth: 20,
         max_states: 500_000,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("mc_throughput_depth20");
     group.sample_size(10);

@@ -116,13 +116,19 @@ fn print_help() {
     println!(
         "       [--bench-json PATH]            bit-identical verdict; --memo-dir persists the"
     );
-    println!("                                      verdict + memo so repeated runs resume");
+    println!("       [--fault-model M]              verdict + memo so repeated runs resume;");
+    println!(
+        "                                      M = per-process (default) | system | mid-op | all"
+    );
     println!();
     println!("  check <protocol>… [--crashes K]     independent breadth-first model checker:");
     println!("       [--depth D] [--max-states N]   re-derives crashtest verdicts (with");
     println!("       [--inputs 0,1] [--valency]     minimal-depth counterexamples) and, with");
     println!("       [--z Z] [--clamp C] [--json]   --valency, the initial configuration's");
-    println!("       [--bench-json PATH]            valency; exits nonzero on violation");
+    println!("       [--bench-json PATH]            valency; exits nonzero on violation;");
+    println!(
+        "       [--fault-model M]              M = per-process (default) | system | mid-op | all"
+    );
     println!();
     println!("  crashtest/check protocols: tas | tnn-wait-free[:n,n'] | tnn-recoverable[:n,n']");
     println!("                             | tournament[:type]");
@@ -787,6 +793,7 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             "--crashes",
             "--depth",
             "--max-states",
+            "--fault-model",
             "--inputs",
             "--explore-threads",
             "--memo-dir",
@@ -806,7 +813,8 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
     let [spec] = parsed.positionals[..] else {
         return Err(
             "usage: rcn crashtest <protocol> [--crashes K] [--depth D] [--max-states N] \
-             [--inputs 0,1] [--explore-threads N] [--memo-dir DIR] [--no-memo] \
+             [--fault-model per-process|system|mid-op|all] [--inputs 0,1] \
+             [--explore-threads N] [--memo-dir DIR] [--no-memo] \
              [--timeout SECS] [--shrink] [--json] [--stats] [--trace PATH] [--metrics] \
              [--bench-json PATH]"
                 .into(),
@@ -827,6 +835,9 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
         if config.max_states == 0 {
             return Err("max-states must be at least 1".into());
         }
+    }
+    if let Some(v) = parsed.value("--fault-model") {
+        config.fault_model = v.parse().map_err(|e| format!("{e}"))?;
     }
     let threads: usize = match parsed.value("--explore-threads") {
         // 0 = all cores, mirroring the search commands' --threads.
@@ -888,9 +899,16 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
 
     if let Some(_path) = bench_path {
         let mut recorder = BenchRecorder::new("crashtest");
+        // The fault model joins the record name only when it is not the
+        // default, so historical `crashtest/...` series stay comparable.
+        let model_suffix = if config.fault_model == rcn_model::FaultModel::default() {
+            String::new()
+        } else {
+            format!(",model={}", config.fault_model)
+        };
         let mut record = BenchRecord::from_timing(
             format!(
-                "crashtest/{spec}/crashes={},depth={}",
+                "crashtest/{spec}/crashes={},depth={}{model_suffix}",
                 config.max_crashes, config.max_depth
             ),
             threads,
@@ -916,6 +934,10 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
             format!("\"crashes\": {}", config.max_crashes),
             format!("\"crash_free\": {crash_free}"),
             format!("\"depth\": {}", config.max_depth),
+            format!(
+                "\"fault_model\": {}",
+                json_str(&config.fault_model.to_string())
+            ),
             format!("\"threads\": {threads}"),
             format!("\"states_visited\": {}", report.stats.states_visited),
             format!("\"events_applied\": {}", report.stats.events_applied),
@@ -959,6 +981,7 @@ fn cmd_crashtest(args: &[&str]) -> Result<(), String> {
                 ""
             }
         );
+        println!("fault model         : {}", config.fault_model);
         if threads > 1 {
             println!("explore threads     : {threads}");
         }
@@ -1060,6 +1083,7 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
             "--crashes",
             "--depth",
             "--max-states",
+            "--fault-model",
             "--inputs",
             "--z",
             "--clamp",
@@ -1071,7 +1095,8 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
     if parsed.positionals.is_empty() {
         return Err(
             "usage: rcn check <protocol>… [--crashes K] [--depth D] [--max-states N] \
-             [--inputs 0,1] [--valency] [--z Z] [--clamp C] [--json] [--stats] \
+             [--fault-model per-process|system|mid-op|all] [--inputs 0,1] [--valency] \
+             [--z Z] [--clamp C] [--json] [--stats] \
              [--trace PATH] [--metrics] [--bench-json PATH]"
                 .into(),
         );
@@ -1091,6 +1116,9 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
         if config.max_states == 0 {
             return Err("max-states must be at least 1".into());
         }
+    }
+    if let Some(v) = parsed.value("--fault-model") {
+        config.fault_model = v.parse().map_err(|e| format!("{e}"))?;
     }
     let mut vconfig = ValencyConfig::default();
     if let Some(v) = parsed.value("--z") {
@@ -1132,9 +1160,14 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
             violators.push(spec);
         }
         if let Some(_path) = bench_path {
+            let model_suffix = if config.fault_model == rcn_model::FaultModel::default() {
+                String::new()
+            } else {
+                format!(",model={}", config.fault_model)
+            };
             let mut record = BenchRecord::from_timing(
                 format!(
-                    "check/{spec}/crashes={},depth={}",
+                    "check/{spec}/crashes={},depth={}{model_suffix}",
                     config.max_crashes, config.max_depth
                 ),
                 1,
@@ -1152,6 +1185,10 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
                 format!("\"protocol\": {}", json_str(spec)),
                 format!("\"crashes\": {}", config.max_crashes),
                 format!("\"depth\": {}", config.max_depth),
+                format!(
+                    "\"fault_model\": {}",
+                    json_str(&config.fault_model.to_string())
+                ),
                 format!("\"states_visited\": {}", report.stats.states_visited),
                 format!("\"events_applied\": {}", report.stats.events_applied),
                 format!("\"frontier_peak\": {}", report.stats.frontier_peak),
@@ -1193,6 +1230,7 @@ fn cmd_check(args: &[&str]) -> Result<(), String> {
                 "crash budget        : ≤{} crash(es) per process, schedules ≤{} events",
                 config.max_crashes, config.max_depth
             );
+            println!("fault model         : {}", config.fault_model);
             println!("explored            : {}", report.stats);
             println!("coverage            : {}", report.coverage);
             if parsed.has("--stats") {

@@ -27,7 +27,12 @@ pub fn u_set<T: ObjectType + ?Sized>(ty: &T, witness: &Witness, x: Team) -> Hash
     for sched in s_p_first_in(&procs, &first) {
         let seq: Vec<OpId> = sched
             .iter()
-            .map(|e| witness.ops[e.process().index()])
+            .map(|e| {
+                witness.ops[e
+                    .process()
+                    .expect("S(P\u{2032}) schedules are step-only")
+                    .index()]
+            })
             .collect();
         let (_, v) = apply_all(ty, witness.initial, &seq);
         out.insert(v.index());
@@ -52,12 +57,20 @@ pub fn r_set<T: ObjectType + ?Sized>(
         .collect();
     let mut out = HashSet::new();
     for sched in s_p_first_in(&procs, &first) {
-        let Some(pos) = sched.iter().position(|e| e.process().index() == j) else {
+        let Some(pos) = sched
+            .iter()
+            .position(|e| e.process().map(ProcessId::index) == Some(j))
+        else {
             continue;
         };
         let seq: Vec<OpId> = sched
             .iter()
-            .map(|e| witness.ops[e.process().index()])
+            .map(|e| {
+                witness.ops[e
+                    .process()
+                    .expect("S(P\u{2032}) schedules are step-only")
+                    .index()]
+            })
             .collect();
         let (outs, v) = apply_all(ty, witness.initial, &seq);
         out.insert((outs[pos].response.index(), v.index()));

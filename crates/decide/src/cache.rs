@@ -130,6 +130,19 @@ pub enum FaultMode {
     /// Operations with no data to halve (rename, create_dir, remove_file)
     /// fail as [`FaultMode::Error`].
     Truncate,
+    /// The faulted *write* reports success but its bytes reach the disk
+    /// only after the **next** operation (of any kind) completes — and
+    /// never, if the run issues no further operation. Models a reordered
+    /// writeback buffer: a subsequent rename can observe the file missing,
+    /// and the late flush can resurrect a path the store already moved or
+    /// removed. Non-write operations fail as [`FaultMode::Error`].
+    Reorder,
+    /// The faulted *write* persists immediately **and** is executed a
+    /// second time after the next operation completes — so a later rename
+    /// or removal of the same path is silently undone by the replayed
+    /// write. Models a duplicated journal entry. Non-write operations fail
+    /// as [`FaultMode::Error`].
+    Duplicate,
 }
 
 /// A [`CacheIo`] that injects exactly one fault: the `fail_at`-th
@@ -145,6 +158,11 @@ pub struct FaultyIo {
     mode: FaultMode,
     next_op: AtomicU64,
     injected: AtomicU64,
+    /// A write deferred by [`FaultMode::Reorder`] or queued for replay by
+    /// [`FaultMode::Duplicate`]; flushed after the next operation. The
+    /// flush bypasses [`FaultyIo::trip`] so deferred traffic does not
+    /// shift the sweep's operation indices.
+    pending: Mutex<Option<(PathBuf, Vec<u8>)>>,
 }
 
 impl FaultyIo {
@@ -155,6 +173,7 @@ impl FaultyIo {
             mode,
             next_op: AtomicU64::new(0),
             injected: AtomicU64::new(0),
+            pending: Mutex::new(None),
         }
     }
 
@@ -187,13 +206,32 @@ impl FaultyIo {
     fn error(kind: &str) -> io::Error {
         io::Error::other(format!("injected {kind} fault"))
     }
+
+    /// Lands any deferred/duplicated write. Called after every
+    /// non-faulted operation; best-effort and uncounted, exactly like a
+    /// kernel writeback that happens to be late.
+    fn flush_pending(&self) {
+        if let Some((path, data)) = self.pending.lock().unwrap().take() {
+            let _ = std::fs::write(&path, data);
+        }
+    }
+
+    /// Runs the underlying operation, then lands any pending write
+    /// *after* it — the ordering that makes Reorder/Duplicate faults
+    /// visible to the store's rename/remove traffic.
+    fn then_flush<T>(&self, result: io::Result<T>) -> io::Result<T> {
+        self.flush_pending();
+        result
+    }
 }
 
 impl CacheIo for FaultyIo {
     fn read_to_string(&self, path: &Path) -> io::Result<String> {
         if self.trip() {
             return match self.mode {
-                FaultMode::Error => Err(Self::error("read")),
+                FaultMode::Error | FaultMode::Reorder | FaultMode::Duplicate => {
+                    Err(Self::error("read"))
+                }
                 FaultMode::Truncate => {
                     let text = std::fs::read_to_string(path)?;
                     let mut cut = text.len() / 2;
@@ -204,7 +242,7 @@ impl CacheIo for FaultyIo {
                 }
             };
         }
-        std::fs::read_to_string(path)
+        self.then_flush(std::fs::read_to_string(path))
     }
 
     fn write(&self, path: &Path, data: &[u8]) -> io::Result<()> {
@@ -213,31 +251,41 @@ impl CacheIo for FaultyIo {
                 FaultMode::Error => Err(Self::error("write")),
                 // Torn write: half the bytes land, success is reported.
                 FaultMode::Truncate => std::fs::write(path, &data[..data.len() / 2]),
+                // Reordered write: success is reported, nothing lands yet.
+                FaultMode::Reorder => {
+                    *self.pending.lock().unwrap() = Some((path.to_path_buf(), data.to_vec()));
+                    Ok(())
+                }
+                // Duplicated write: lands now and replays after the next op.
+                FaultMode::Duplicate => {
+                    *self.pending.lock().unwrap() = Some((path.to_path_buf(), data.to_vec()));
+                    std::fs::write(path, data)
+                }
             };
         }
-        std::fs::write(path, data)
+        self.then_flush(std::fs::write(path, data))
     }
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         if self.trip() {
             return Err(Self::error("rename"));
         }
-        std::fs::rename(from, to)
+        self.then_flush(std::fs::rename(from, to))
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         if self.trip() {
             return Err(Self::error("create_dir"));
         }
-        std::fs::create_dir_all(path)
+        self.then_flush(std::fs::create_dir_all(path))
     }
 
-    // No data to halve: Truncate faults fail like Error, as for rename.
+    // No data to halve/defer: non-write faults fail like Error.
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         if self.trip() {
             return Err(Self::error("remove_file"));
         }
-        std::fs::remove_file(path)
+        self.then_flush(std::fs::remove_file(path))
     }
 }
 

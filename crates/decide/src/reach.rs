@@ -759,7 +759,10 @@ mod tests {
         let first: Vec<ProcessId> = team.iter().map(|&i| ProcessId(i as u16)).collect();
         let mut out = HashSet::new();
         for sched in s_p_first_in(&procs, &first) {
-            let seq: Vec<OpId> = sched.iter().map(|e| ops[e.process().index()]).collect();
+            let seq: Vec<OpId> = sched
+                .iter()
+                .map(|e| ops[e.process().expect("S(P′) schedules are step-only").index()])
+                .collect();
             let (_, v) = apply_all(ty, u, &seq);
             out.insert(v.index());
         }
@@ -781,11 +784,14 @@ mod tests {
             if !sched.contains_process(ProcessId(j as u16)) {
                 continue;
             }
-            let seq: Vec<OpId> = sched.iter().map(|e| ops[e.process().index()]).collect();
+            let seq: Vec<OpId> = sched
+                .iter()
+                .map(|e| ops[e.process().expect("S(P′) schedules are step-only").index()])
+                .collect();
             let (outs, v) = apply_all(ty, u, &seq);
             let pos = sched
                 .iter()
-                .position(|e| e.process().index() == j)
+                .position(|e| e.process().map(ProcessId::index) == Some(j))
                 .expect("j in schedule");
             out.insert((outs[pos].response.index(), v.index()));
         }

@@ -50,7 +50,7 @@
 
 use crate::diagnose::{diagnose, Divergence};
 use crate::memo::{ExplorerMemo, MemoLoad};
-use rcn_model::{Action, Configuration, Event, ProcessId, Schedule, System, Violation};
+use rcn_model::{Action, Configuration, Event, FaultModel, ProcessId, Schedule, System, Violation};
 use rcn_obs::{Counter, HistogramHandle, Tracer};
 use std::collections::HashMap;
 use std::fmt;
@@ -63,7 +63,9 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CrashtestConfig {
     /// Maximum crashes injected per process (the budget `K`): each process
-    /// may crash at most this many times along any explored schedule.
+    /// may crash at most this many times along any explored schedule. A
+    /// system-wide crash charges every process one crash at once; a
+    /// mid-operation crash charges its process like an individual crash.
     pub max_crashes: usize,
     /// Maximum schedule length explored (the depth cap `D`).
     pub max_depth: usize,
@@ -71,6 +73,11 @@ pub struct CrashtestConfig {
     /// memoized before the search refuses to grow (a memory safety valve;
     /// hitting it makes a `Clean` verdict non-exhaustive).
     pub max_states: usize,
+    /// Which crash events the adversary may place
+    /// ([`FaultModel::PER_PROCESS`] — the paper's model — by default).
+    /// Part of the verdict's identity: the persistent memo keys on it, so
+    /// a memo certified under one model is never consumed under another.
+    pub fault_model: FaultModel,
 }
 
 impl Default for CrashtestConfig {
@@ -79,6 +86,7 @@ impl Default for CrashtestConfig {
             max_crashes: 2,
             max_depth: 16,
             max_states: 500_000,
+            fault_model: FaultModel::PER_PROCESS,
         }
     }
 }
@@ -477,13 +485,13 @@ impl<'s> CrashExplorer<'s> {
             }
             let mut next_level = Vec::with_capacity(frontier.len() * 2);
             for node in &frontier {
-                for idx in 0..2 * n {
+                for idx in 0..candidate_limit(n) {
                     let Some(event) = enabled_candidate(
                         self.system,
                         &node.config,
                         &node.counts,
                         idx,
-                        self.config.max_crashes,
+                        &self.config,
                     ) else {
                         continue;
                     };
@@ -498,9 +506,7 @@ impl<'s> CrashExplorer<'s> {
                         continue;
                     }
                     let mut next_counts = node.counts.clone();
-                    if event.is_crash() {
-                        next_counts[event.process().index()] += 1;
-                    }
+                    charge_crash(&mut next_counts, event);
                     let remaining = self.config.max_depth - (depth + 1);
                     let key = (next_config, next_counts);
                     if let Some(entry) = shared.certified.read().unwrap().get(&key) {
@@ -749,17 +755,32 @@ struct SharedCtx {
     best_task: AtomicUsize,
 }
 
-/// The candidate event at `idx` (`0..n` steps, `n..2n` crashes), or `None`
-/// if it is skipped at this configuration: steps of output states and
-/// crashes of budget-exhausted or initial-state processes are no-ops.
+/// The size of the candidate index space for `n` processes: steps
+/// (`0..n`), per-process crashes (`n..2n`), the system-wide crash (`2n`),
+/// and mid-operation crashes (`2n+1..3n+1`). Candidates whose fault family
+/// the model disables simply resolve to `None`, so the per-process-only
+/// search walks exactly the same sequence of applied events as before the
+/// extended families existed.
+fn candidate_limit(n: usize) -> usize {
+    3 * n + 1
+}
+
+/// The candidate event at `idx` (see [`candidate_limit`] for the index
+/// layout), or `None` if it is skipped at this configuration: steps of
+/// output states, crash families the fault model disables, crashes of
+/// budget-exhausted or initial-state processes, system-wide crashes
+/// without full budget everywhere, and mid-operation crashes of processes
+/// with no operation in flight are all no-ops.
 fn enabled_candidate(
     system: &System,
     config: &Configuration,
     counts: &[usize],
     idx: usize,
-    max_crashes: usize,
+    cfg: &CrashtestConfig,
 ) -> Option<Event> {
     let n = system.n();
+    let max_crashes = cfg.max_crashes;
+    let model = cfg.fault_model;
     if idx < n {
         let p = ProcessId(idx as u16);
         // A step in an output state is a no-op; skip it.
@@ -767,9 +788,9 @@ fn enabled_candidate(
             return None;
         }
         Some(Event::Step(p))
-    } else {
+    } else if idx < 2 * n {
         let p = ProcessId((idx - n) as u16);
-        if counts[p.index()] >= max_crashes {
+        if !model.per_process || counts[p.index()] >= max_crashes {
             return None;
         }
         // A crash of a process already in its initial state is a no-op:
@@ -784,11 +805,56 @@ fn enabled_candidate(
             return None;
         }
         Some(Event::Crash(p))
+    } else if idx == 2 * n {
+        // A system-wide crash charges every process one crash, so it needs
+        // budget left everywhere; with every process already in its
+        // initial state it is a no-op (same argument as above, applied to
+        // all processes at once).
+        if !model.system_wide || counts.iter().any(|&c| c >= max_crashes) {
+            return None;
+        }
+        let all_initial = (0..n).all(|i| {
+            let p = ProcessId(i as u16);
+            config.states[i] == system.program().initial_state(p, system.inputs()[i])
+        });
+        if all_initial {
+            return None;
+        }
+        Some(Event::SystemCrash)
+    } else {
+        let p = ProcessId((idx - 2 * n - 1) as u16);
+        if !model.mid_operation || counts[p.index()] >= max_crashes {
+            return None;
+        }
+        // A mid-operation crash needs an operation in flight; without one
+        // it degenerates to an ordinary crash (covered by the `c_p`
+        // candidate when per-process crashes are enabled).
+        if !matches!(system.action_of(config, p), Action::Invoke { .. }) {
+            return None;
+        }
+        Some(Event::CrashDuring(p))
+    }
+}
+
+/// Charges `event` against the per-process crash budgets: individual and
+/// mid-operation crashes charge their process; a system-wide crash charges
+/// every process at once. The DFS and the independent BFS checker in
+/// `rcn-mc` must account identically or their verdicts drift.
+fn charge_crash(counts: &mut [usize], event: Event) {
+    match event {
+        Event::Crash(p) | Event::CrashDuring(p) => counts[p.index()] += 1,
+        Event::SystemCrash => {
+            for c in counts.iter_mut() {
+                *c += 1;
+            }
+        }
+        Event::Step(_) => {}
     }
 }
 
 /// Total order on schedules matching the DFS candidate order: steps of
-/// `p0..pn` before crashes of `p0..pn`, position by position; a proper
+/// `p0..pn`, then crashes of `p0..pn`, then the system-wide crash, then
+/// mid-operation crashes of `p0..pn`, position by position; a proper
 /// prefix sorts first. DFS preorder enumerates paths in exactly this
 /// order, so "first counterexample of the sequential search" and
 /// "lex-least violating schedule" coincide.
@@ -796,6 +862,8 @@ fn lex_cmp(n: usize, a: &[Event], b: &[Event]) -> std::cmp::Ordering {
     let rank = |e: &Event| match e {
         Event::Step(p) => p.index(),
         Event::Crash(p) => n + p.index(),
+        Event::SystemCrash => 2 * n,
+        Event::CrashDuring(p) => 2 * n + 1 + p.index(),
     };
     for (x, y) in a.iter().zip(b.iter()) {
         match rank(x).cmp(&rank(y)) {
@@ -926,23 +994,18 @@ impl<'a> Search<'a> {
                 self.pop_frame(&mut stack);
                 continue;
             }
-            if stack[top].next >= 2 * n {
+            if stack[top].next >= candidate_limit(n) {
                 self.pop_frame(&mut stack);
                 continue;
             }
             let idx = stack[top].next;
             stack[top].next += 1;
             let frame = &stack[top];
-            let Some(event) = enabled_candidate(
-                self.system,
-                &frame.config,
-                &frame.counts,
-                idx,
-                self.budget.max_crashes,
-            ) else {
+            let Some(event) =
+                enabled_candidate(self.system, &frame.config, &frame.counts, idx, &self.budget)
+            else {
                 continue;
             };
-            let p = event.process();
             let mut next_config = frame.config.clone();
             let effect = self.system.apply(&mut next_config, event);
             self.stats.events_applied += 1;
@@ -952,9 +1015,7 @@ impl<'a> Search<'a> {
                 return TaskOutcome::Violation(violation);
             }
             let mut next_counts = frame.counts.to_vec();
-            if event.is_crash() {
-                next_counts[p.index()] += 1;
-            }
+            charge_crash(&mut next_counts, event);
             // Remaining schedule budget at the child. A state is skipped
             // only if it was already explored with at least this much
             // budget left — skipping on mere membership would prune
@@ -1172,11 +1233,14 @@ mod tests {
     }
 
     /// Bounded DFS with *no* memoization at all: the ground truth the
-    /// memoized explorer must agree with on violation existence.
+    /// memoized explorer must agree with on violation existence. Honors
+    /// the fault model but applies only the budget rules (no no-op
+    /// skipping): a violation reached through a no-op crash is also
+    /// reachable without it on a shorter schedule, so existence matches.
     fn oracle_finds_violation(
         sys: &System,
         config: &Configuration,
-        crash_counts: &mut [usize],
+        crash_counts: &[usize],
         depth: usize,
         cfg: &CrashtestConfig,
     ) -> bool {
@@ -1186,17 +1250,26 @@ mod tests {
         let n = sys.n();
         let candidates = (0..n)
             .map(|i| Event::Step(ProcessId(i as u16)))
-            .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))));
+            .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))))
+            .chain(std::iter::once(Event::SystemCrash))
+            .chain((0..n).map(|i| Event::CrashDuring(ProcessId(i as u16))));
         for event in candidates {
-            let p = event.process();
+            if !cfg.fault_model.allows(event) {
+                continue;
+            }
             match event {
-                Event::Step(_) => {
+                Event::Step(p) => {
                     if matches!(sys.action_of(config, p), Action::Output(_)) {
                         continue;
                     }
                 }
-                Event::Crash(_) => {
+                Event::Crash(p) | Event::CrashDuring(p) => {
                     if crash_counts[p.index()] >= cfg.max_crashes {
+                        continue;
+                    }
+                }
+                Event::SystemCrash => {
+                    if crash_counts.iter().any(|&c| c >= cfg.max_crashes) {
                         continue;
                     }
                 }
@@ -1205,14 +1278,9 @@ mod tests {
             if sys.apply(&mut next, event).violation.is_some() {
                 return true;
             }
-            if event.is_crash() {
-                crash_counts[p.index()] += 1;
-            }
-            let found = oracle_finds_violation(sys, &next, crash_counts, depth + 1, cfg);
-            if event.is_crash() {
-                crash_counts[p.index()] -= 1;
-            }
-            if found {
+            let mut next_counts = crash_counts.to_vec();
+            charge_crash(&mut next_counts, event);
+            if oracle_finds_violation(sys, &next, &next_counts, depth + 1, cfg) {
                 return true;
             }
         }
@@ -1224,8 +1292,8 @@ mod tests {
         if sys.check_initial_outputs(&initial).is_some() {
             return true;
         }
-        let mut counts = vec![0usize; sys.n()];
-        oracle_finds_violation(sys, &initial, &mut counts, 0, cfg)
+        let counts = vec![0usize; sys.n()];
+        oracle_finds_violation(sys, &initial, &counts, 0, cfg)
     }
 
     #[test]
@@ -1262,22 +1330,30 @@ mod tests {
             ("tnn-recoverable", TnnRecoverable::system(3, 1, vec![0, 1])),
         ];
         for (name, sys) in &systems {
-            for (max_crashes, max_depth) in [(1, 4), (1, 5), (1, 6), (2, 6), (1, 8)] {
-                let cfg = CrashtestConfig {
-                    max_crashes,
-                    max_depth,
-                    ..Default::default()
-                };
-                let report = CrashExplorer::new(sys, cfg).explore();
-                assert!(
-                    report.stats.exhaustive(),
-                    "{name} {cfg:?} hit the state cap"
-                );
-                assert_eq!(
-                    report.counterexample.is_some(),
-                    oracle(sys, &cfg),
-                    "memoized explorer disagrees with the oracle on {name} at {cfg:?}"
-                );
+            for fault_model in [
+                FaultModel::PER_PROCESS,
+                FaultModel::SYSTEM,
+                FaultModel::MID_OP,
+                FaultModel::ALL,
+            ] {
+                for (max_crashes, max_depth) in [(1, 4), (1, 5), (1, 6), (2, 6), (1, 8)] {
+                    let cfg = CrashtestConfig {
+                        max_crashes,
+                        max_depth,
+                        fault_model,
+                        ..Default::default()
+                    };
+                    let report = CrashExplorer::new(sys, cfg).explore();
+                    assert!(
+                        report.stats.exhaustive(),
+                        "{name} {cfg:?} hit the state cap"
+                    );
+                    assert_eq!(
+                        report.counterexample.is_some(),
+                        oracle(sys, &cfg),
+                        "memoized explorer disagrees with the oracle on {name} at {cfg:?}"
+                    );
+                }
             }
         }
     }
@@ -1510,7 +1586,7 @@ mod tests {
             CrashtestConfig {
                 max_crashes: 0,
                 max_depth: 5000,
-                max_states: 500_000,
+                ..Default::default()
             },
         )
         .explore();

@@ -6,9 +6,13 @@
 //! that purity durable, exactly as `rcn-decide`'s `DiskCache` does for
 //! reachability analyses:
 //!
-//! * one JSON file per `(system fingerprint, budget triple)`, named
-//!   `crashtest-<fp>-c<K>-d<D>-s<S>.json`, carrying a format-version
-//!   header so stale layouts degrade to a cold run;
+//! * one JSON file per `(system fingerprint, budget triple, fault
+//!   model)`, named `crashtest-<fp>-c<K>-d<D>-s<S>-m<model>.json`,
+//!   carrying a format-version header so stale layouts degrade to a
+//!   cold run. The fault model is part of the key *and* the header: a
+//!   clean verdict under `per-process` proves nothing about `system` or
+//!   `mid-op` crashes, so memos written under one model must never be
+//!   consumed under another;
 //! * the key is a *content* hash ([`system_fingerprint`]): process
 //!   count, inputs, every object's full transition table and initial
 //!   value, plus a bounded walk of the crash-free step graph — renaming
@@ -56,7 +60,11 @@ use std::sync::Arc;
 /// change to the serialized shape; readers quarantine files with any
 /// other version (unlike a wrong fingerprint, a wrong version at the
 /// right path is damage worth evicting, not a neighbour's file).
-pub const EXPLORER_MEMO_VERSION: u32 = 1;
+///
+/// Version history: 1 = budget triple only; 2 = the fault model joined
+/// the header (and the file name), because a verdict under `per-process`
+/// says nothing about `system` or `mid-op` crashes.
+pub const EXPLORER_MEMO_VERSION: u32 = 2;
 
 /// How many configurations the fingerprint's bounded crash-free walk
 /// visits before truncating. The walk only needs to separate systems
@@ -187,6 +195,10 @@ struct MemoFile {
     max_crashes: u64,
     max_depth: u64,
     max_states: u64,
+    /// The three [`FaultModel`] flags the verdict was computed under.
+    per_process: bool,
+    system_wide: bool,
+    mid_operation: bool,
     outcome: OutcomeRec,
     facts: Vec<FactRec>,
 }
@@ -261,8 +273,11 @@ impl ExplorerMemo {
     /// `(system, budget)` pair.
     fn file_path(&self, fingerprint: u64, config: &CrashtestConfig) -> PathBuf {
         self.dir.join(format!(
-            "crashtest-{fingerprint:016x}-c{}-d{}-s{}.json",
-            config.max_crashes, config.max_depth, config.max_states
+            "crashtest-{fingerprint:016x}-c{}-d{}-s{}-m{}.json",
+            config.max_crashes,
+            config.max_depth,
+            config.max_states,
+            config.fault_model.key()
         ))
     }
 
@@ -306,6 +321,9 @@ impl ExplorerMemo {
             || file.max_crashes != config.max_crashes as u64
             || file.max_depth != config.max_depth as u64
             || file.max_states != config.max_states as u64
+            || file.per_process != config.fault_model.per_process
+            || file.system_wide != config.fault_model.system_wide
+            || file.mid_operation != config.fault_model.mid_operation
         {
             self.quarantine(&path, tracer);
             tracer.event("crashtest.memo.load", bytes, "header-mismatch");
@@ -353,15 +371,30 @@ impl ExplorerMemo {
         let n = system.n();
         let mut counts = vec![0usize; n];
         for event in schedule.iter() {
-            let p = event.process();
-            if p.index() >= n {
+            if !config.fault_model.allows(event) {
                 return None;
             }
-            if event.is_crash() {
-                counts[p.index()] += 1;
-                if counts[p.index()] > config.max_crashes {
+            if let Some(p) = event.process() {
+                if p.index() >= n {
                     return None;
                 }
+            }
+            match event {
+                Event::Crash(p) | Event::CrashDuring(p) => {
+                    counts[p.index()] += 1;
+                    if counts[p.index()] > config.max_crashes {
+                        return None;
+                    }
+                }
+                Event::SystemCrash => {
+                    for c in counts.iter_mut() {
+                        *c += 1;
+                        if *c > config.max_crashes {
+                            return None;
+                        }
+                    }
+                }
+                Event::Step(_) => {}
             }
         }
         let (_, violation) = system.run_from_start(&schedule);
@@ -464,6 +497,9 @@ impl ExplorerMemo {
             max_crashes: config.max_crashes as u64,
             max_depth: config.max_depth as u64,
             max_states: config.max_states as u64,
+            per_process: config.fault_model.per_process,
+            system_wide: config.fault_model.system_wide,
+            mid_operation: config.fault_model.mid_operation,
             outcome: OutcomeRec {
                 schedule: report
                     .counterexample

@@ -22,7 +22,7 @@
 //!   optimizations this checker intentionally does not copy.
 
 use crate::hash::StateIndex;
-use rcn_model::{Configuration, Event, ProcessId, Schedule, System, Violation};
+use rcn_model::{Configuration, Event, FaultModel, ProcessId, Schedule, System, Violation};
 use rcn_obs::Tracer;
 use std::fmt;
 
@@ -38,6 +38,11 @@ pub struct McConfig {
     /// Maximum number of distinct states stored before the search stops
     /// growing; hitting it demotes the result to [`Coverage::Bounded`].
     pub max_states: usize,
+    /// Which crash-event families the adversary may schedule. Part of the
+    /// verdict's identity (same accounting as the DFS: a system-wide crash
+    /// charges every process one crash, a mid-operation crash charges the
+    /// crashing process).
+    pub fault_model: FaultModel,
 }
 
 impl Default for McConfig {
@@ -46,6 +51,7 @@ impl Default for McConfig {
             max_crashes: 2,
             max_depth: 16,
             max_states: 500_000,
+            fault_model: FaultModel::PER_PROCESS,
         }
     }
 }
@@ -210,8 +216,8 @@ impl<'s> ModelChecker<'s> {
             "mc.check",
             i64::try_from(self.config.max_depth).unwrap_or(i64::MAX),
             &format!(
-                "crashes={} states={}",
-                self.config.max_crashes, self.config.max_states
+                "crashes={} states={} model={}",
+                self.config.max_crashes, self.config.max_states, self.config.fault_model
             ),
         );
         let events_counter = self.tracer.counter("mc.events_applied");
@@ -258,15 +264,43 @@ impl<'s> ModelChecker<'s> {
                 stats.depth_clipped = true;
                 continue;
             }
+            // Steps, per-process crashes, the system-wide crash, then
+            // mid-operation crashes — the same candidate order as the DFS
+            // explorer, though breadth-first expansion makes the order
+            // irrelevant to the verdict. Faithful to the BFS philosophy,
+            // the DFS's no-op skip rules (crashes in the initial state,
+            // degenerate mid-operation crashes with no pending invocation)
+            // are *not* copied: those successors simply deduplicate or
+            // strictly shrink the remaining budget, so verdicts agree.
             let candidates = (0..n)
                 .map(|i| Event::Step(ProcessId(i as u16)))
-                .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))));
+                .chain((0..n).map(|i| Event::Crash(ProcessId(i as u16))))
+                .chain(std::iter::once(Event::SystemCrash))
+                .chain((0..n).map(|i| Event::CrashDuring(ProcessId(i as u16))));
             for event in candidates {
-                let p = event.process();
-                if event.is_crash()
-                    && nodes[id].key.crashes[p.index()] as usize >= self.config.max_crashes
-                {
+                if !self.config.fault_model.allows(event) {
                     continue;
+                }
+                // Budget gating must match the DFS exactly: a system-wide
+                // crash charges every process, so it is enabled only while
+                // every process still has allowance.
+                match event {
+                    Event::Crash(p) | Event::CrashDuring(p) => {
+                        if nodes[id].key.crashes[p.index()] as usize >= self.config.max_crashes {
+                            continue;
+                        }
+                    }
+                    Event::SystemCrash => {
+                        if nodes[id]
+                            .key
+                            .crashes
+                            .iter()
+                            .any(|&c| c as usize >= self.config.max_crashes)
+                        {
+                            continue;
+                        }
+                    }
+                    Event::Step(_) => {}
                 }
                 let mut next = nodes[id].key.config.clone();
                 let effect = self.system.apply(&mut next, event);
@@ -287,8 +321,14 @@ impl<'s> ModelChecker<'s> {
                     return report;
                 }
                 let mut crashes = nodes[id].key.crashes.clone();
-                if event.is_crash() {
-                    crashes[p.index()] += 1;
+                match event {
+                    Event::Crash(p) | Event::CrashDuring(p) => crashes[p.index()] += 1,
+                    Event::SystemCrash => {
+                        for c in crashes.iter_mut() {
+                            *c += 1;
+                        }
+                    }
+                    Event::Step(_) => {}
                 }
                 let key = StateKey {
                     config: next,

@@ -133,6 +133,12 @@ pub fn valency_check(system: &System, config: ValencyConfig) -> ValencyReport {
                         }
                     }
                     Event::Crash(_) => next.allowance[i] -= 1,
+                    // `E_z*` budgets (paper §3) are defined for individual
+                    // crashes only; this BFS never enumerates the extended
+                    // fault families.
+                    Event::SystemCrash | Event::CrashDuring(_) => {
+                        unreachable!("valency graphs enumerate only steps and per-process crashes")
+                    }
                 }
                 let target = match index.find(&keys, &next) {
                     Some(t) => t,

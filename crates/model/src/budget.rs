@@ -82,14 +82,21 @@ impl CrashBudget {
                 let mut steps_below = vec![0usize; self.n]; // steps of p_0..p_{i-1}
                 let mut crashes = vec![0usize; self.n];
                 for event in schedule.iter() {
-                    let i = event.process().index();
                     match event {
-                        Event::Step(_) => {
-                            for entry in steps_below.iter_mut().skip(i + 1) {
+                        Event::Step(p) => {
+                            for entry in steps_below.iter_mut().skip(p.index() + 1) {
                                 *entry += 1;
                             }
                         }
-                        Event::Crash(_) => crashes[i] += 1,
+                        // A mid-operation crash is a crash of p for budget
+                        // purposes; a system-wide crash hits every process
+                        // (including p_0, so it is never admissible).
+                        Event::Crash(p) | Event::CrashDuring(p) => crashes[p.index()] += 1,
+                        Event::SystemCrash => {
+                            for c in crashes.iter_mut() {
+                                *c += 1;
+                            }
+                        }
                     }
                 }
                 if crashes[0] > 0 {
@@ -159,10 +166,12 @@ impl BudgetTracker {
     pub fn would_admit(&self, event: Event) -> bool {
         match event {
             Event::Step(_) => true,
-            Event::Crash(p) => {
+            Event::Crash(p) | Event::CrashDuring(p) => {
                 let i = p.index();
                 i != 0 && self.crashes[i] < self.budget.z * self.budget.n * self.steps_below[i]
             }
+            // A system-wide crash crashes p_0, which `E_z` never allows.
+            Event::SystemCrash => false,
         }
     }
 
@@ -175,7 +184,12 @@ impl BudgetTracker {
                     *entry += 1;
                 }
             }
-            Event::Crash(p) => self.crashes[p.index()] += 1,
+            Event::Crash(p) | Event::CrashDuring(p) => self.crashes[p.index()] += 1,
+            Event::SystemCrash => {
+                for c in self.crashes.iter_mut() {
+                    *c += 1;
+                }
+            }
         }
     }
 

@@ -79,15 +79,19 @@ impl Execution {
     pub fn outputs(&self) -> Vec<(ProcessId, u32)> {
         self.steps
             .iter()
-            .filter_map(|(_, eff, _)| eff.output)
+            .flat_map(|(_, eff, _)| eff.outputs.iter().copied())
             .collect()
     }
 
-    /// Returns `true` if every event belongs to a process in `procs`.
+    /// Returns `true` if every event belongs to a process in `procs` (a
+    /// system-wide crash belongs to every process at once, so it is "by
+    /// `procs`" only if `procs` covers all of them).
     pub fn only_by(&self, procs: &[ProcessId]) -> bool {
-        self.steps
-            .iter()
-            .all(|(e, _, _)| procs.contains(&e.process()))
+        let n = self.initial.num_processes();
+        self.steps.iter().all(|(e, _, _)| match e.process() {
+            Some(p) => procs.contains(&p),
+            None => (0..n).all(|i| procs.contains(&ProcessId(i as u16))),
+        })
     }
 
     /// The paper's indistinguishability relation on executions, for the
@@ -121,7 +125,7 @@ impl fmt::Display for Execution {
         writeln!(f, "  {}", self.initial)?;
         for (event, effect, config) in &self.steps {
             write!(f, "{event}")?;
-            if let Some((p, v)) = effect.output {
+            for (p, v) in &effect.outputs {
                 write!(f, " [{p} outputs {v}]")?;
             }
             if let Some(violation) = effect.violation {

@@ -44,6 +44,8 @@ pub use budget::{BudgetKind, BudgetTracker, CrashBudget};
 pub use execution::Execution;
 pub use heap::{HeapLayout, ObjectId};
 pub use program::{Action, LocalState, OutputInput, Program};
-pub use schedule::{Event, ParseScheduleError, ProcessId, Schedule};
+pub use schedule::{
+    Event, FaultModel, ParseFaultModelError, ParseScheduleError, ProcessId, Schedule,
+};
 pub use sp::{s_p, s_p_first_in, s_p_len};
 pub use system::{Configuration, StepEffect, System, Violation};

@@ -42,7 +42,23 @@ impl From<u16> for ProcessId {
     }
 }
 
-/// One event of an execution: a step or a crash of some process.
+/// One event of an execution: a step or a crash.
+///
+/// The paper's §2 model has only `Step`/`Crash` (individual crash–recovery:
+/// the crashed process loses its volatile state, shared objects persist).
+/// The two extra variants cover neighbouring points of the crash-model
+/// design space:
+///
+/// * [`Event::SystemCrash`] — Golab's *simultaneous* crash failures: every
+///   process resets at once (shared objects still persist).
+/// * [`Event::CrashDuring`] — the DFFR'22 mid-operation crash. A crash that
+///   strikes while an operation is in flight is ambiguous: the operation
+///   either linearizes (takes effect on the object, but the response is
+///   lost with the crashed process's volatile state) or is lost entirely.
+///   The *lost* resolution is indistinguishable from an ordinary
+///   [`Event::Crash`] immediately before the invocation, so it is encoded
+///   as one; `CrashDuring(p)` denotes the *linearized* resolution.
+///   Explorers branch on both events to cover the nondeterminism.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Event {
     /// `p_i` takes its next step (applies an operation, or a no-op if it has
@@ -50,19 +66,42 @@ pub enum Event {
     Step(ProcessId),
     /// `c_i`: process `p_i` crashes and is reset to its initial state.
     Crash(ProcessId),
+    /// `C`: every process crashes simultaneously and is reset to its
+    /// initial state (system-wide crash; shared objects persist).
+    SystemCrash,
+    /// `d_i`: process `p_i` crashes mid-operation and the pending operation
+    /// *linearizes* — the object is updated, but the response is lost and
+    /// `p_i` is reset to its initial state. If `p_i` has no operation in
+    /// flight this degenerates to an ordinary crash.
+    CrashDuring(ProcessId),
 }
 
 impl Event {
-    /// The process this event belongs to.
-    pub fn process(self) -> ProcessId {
+    /// The single process this event belongs to, or `None` for a
+    /// system-wide crash (which belongs to every process at once).
+    pub fn process(self) -> Option<ProcessId> {
         match self {
-            Event::Step(p) | Event::Crash(p) => p,
+            Event::Step(p) | Event::Crash(p) | Event::CrashDuring(p) => Some(p),
+            Event::SystemCrash => None,
         }
     }
 
-    /// Returns `true` if this is a crash event.
+    /// Returns `true` if this is a crash event of any kind (individual,
+    /// system-wide, or mid-operation).
     pub fn is_crash(self) -> bool {
-        matches!(self, Event::Crash(_))
+        matches!(
+            self,
+            Event::Crash(_) | Event::SystemCrash | Event::CrashDuring(_)
+        )
+    }
+
+    /// Returns `true` if this event involves process `p` (a step or crash
+    /// of `p`; a system-wide crash involves every process).
+    pub fn involves(self, p: ProcessId) -> bool {
+        match self {
+            Event::SystemCrash => true,
+            _ => self.process() == Some(p),
+        }
     }
 }
 
@@ -71,6 +110,148 @@ impl fmt::Display for Event {
         match self {
             Event::Step(p) => write!(f, "p{}", p.0),
             Event::Crash(p) => write!(f, "c{}", p.0),
+            Event::SystemCrash => write!(f, "C"),
+            Event::CrashDuring(p) => write!(f, "d{}", p.0),
+        }
+    }
+}
+
+/// Which crash events an adversary may schedule.
+///
+/// Each flag independently enables one family of crash events; steps are
+/// always allowed. The four named models exposed on the CLI
+/// (`--fault-model per-process|system|mid-op|all`) are [`FaultModel::PER_PROCESS`]
+/// (the paper's §2 model and the default), [`FaultModel::SYSTEM`] (only
+/// Golab-style simultaneous crashes), [`FaultModel::MID_OP`] (individual
+/// crashes that may also strike mid-operation — both resolutions of the
+/// DFFR'22 ambiguity are reachable), and [`FaultModel::ALL`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Individual crashes `c_i` (the paper's model).
+    pub per_process: bool,
+    /// Simultaneous system-wide crashes `C`.
+    pub system_wide: bool,
+    /// Mid-operation crashes `d_i` (the linearized resolution; the lost
+    /// resolution needs `per_process` to be reachable).
+    pub mid_operation: bool,
+}
+
+impl FaultModel {
+    /// The paper's §2 model: individual crashes only. The default.
+    pub const PER_PROCESS: FaultModel = FaultModel {
+        per_process: true,
+        system_wide: false,
+        mid_operation: false,
+    };
+
+    /// Golab's simultaneous-crash variant: only system-wide crashes.
+    pub const SYSTEM: FaultModel = FaultModel {
+        per_process: false,
+        system_wide: true,
+        mid_operation: false,
+    };
+
+    /// DFFR'22 mid-operation crashes on top of individual ones (so both
+    /// the linearized and the lost resolution of a mid-operation crash are
+    /// reachable).
+    pub const MID_OP: FaultModel = FaultModel {
+        per_process: true,
+        system_wide: false,
+        mid_operation: true,
+    };
+
+    /// Every crash family at once.
+    pub const ALL: FaultModel = FaultModel {
+        per_process: true,
+        system_wide: true,
+        mid_operation: true,
+    };
+
+    /// Returns `true` if this model admits `event` into a schedule.
+    pub fn allows(self, event: Event) -> bool {
+        match event {
+            Event::Step(_) => true,
+            Event::Crash(_) => self.per_process,
+            Event::SystemCrash => self.system_wide,
+            Event::CrashDuring(_) => self.mid_operation,
+        }
+    }
+
+    /// A short stable token naming the model, used in cache keys and bench
+    /// record names: the canonical names for the four CLI models, and a
+    /// `pp+sys+mid`-style flag list for any other combination.
+    pub fn key(self) -> String {
+        self.to_string()
+    }
+}
+
+impl Default for FaultModel {
+    fn default() -> Self {
+        FaultModel::PER_PROCESS
+    }
+}
+
+impl fmt::Display for FaultModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FaultModel::PER_PROCESS => write!(f, "per-process"),
+            FaultModel::SYSTEM => write!(f, "system"),
+            FaultModel::MID_OP => write!(f, "mid-op"),
+            FaultModel::ALL => write!(f, "all"),
+            FaultModel {
+                per_process,
+                system_wide,
+                mid_operation,
+            } => {
+                let mut parts = Vec::new();
+                if per_process {
+                    parts.push("pp");
+                }
+                if system_wide {
+                    parts.push("sys");
+                }
+                if mid_operation {
+                    parts.push("mid");
+                }
+                if parts.is_empty() {
+                    parts.push("none");
+                }
+                write!(f, "{}", parts.join("+"))
+            }
+        }
+    }
+}
+
+/// Error parsing a [`FaultModel`] from text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseFaultModelError {
+    token: String,
+}
+
+impl fmt::Display for ParseFaultModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid fault model `{}` (expected per-process, system, mid-op or all)",
+            self.token
+        )
+    }
+}
+
+impl std::error::Error for ParseFaultModelError {}
+
+impl FromStr for FaultModel {
+    type Err = ParseFaultModelError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim() {
+            "per-process" => Ok(FaultModel::PER_PROCESS),
+            "system" => Ok(FaultModel::SYSTEM),
+            "mid-op" => Ok(FaultModel::MID_OP),
+            "all" => Ok(FaultModel::ALL),
+            other => Err(ParseFaultModelError {
+                token: other.to_string(),
+            }),
         }
     }
 }
@@ -160,17 +341,20 @@ impl Schedule {
             .count()
     }
 
-    /// Number of crash events by process `p`.
+    /// Number of crash events hitting process `p` (individual crashes
+    /// `c_p`, mid-operation crashes `d_p`, and system-wide crashes, which
+    /// hit every process).
     pub fn crashes_of(&self, p: ProcessId) -> usize {
         self.0
             .iter()
-            .filter(|e| matches!(e, Event::Crash(q) if *q == p))
+            .filter(|e| e.is_crash() && e.involves(p))
             .count()
     }
 
-    /// Returns `true` if the schedule contains any event of process `p`.
+    /// Returns `true` if the schedule contains any event involving process
+    /// `p` (a system-wide crash involves every process).
     pub fn contains_process(&self, p: ProcessId) -> bool {
-        self.0.iter().any(|e| e.process() == p)
+        self.0.iter().any(|e| e.involves(p))
     }
 
     /// Returns `true` if the schedule contains no crash events.
@@ -244,8 +428,10 @@ impl std::error::Error for ParseScheduleError {}
 impl FromStr for Schedule {
     type Err = ParseScheduleError;
 
-    /// Parses the paper's notation: whitespace-separated `p<i>` (step) and
-    /// `c<i>` (crash) tokens; `⟨⟩` or an empty string is the empty schedule.
+    /// Parses the paper's notation: whitespace-separated `p<i>` (step),
+    /// `c<i>` (crash) and `d<i>` (mid-operation crash, linearized
+    /// resolution) tokens, plus a bare `C` for a system-wide crash; `⟨⟩` or
+    /// an empty string is the empty schedule.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let s = s.trim();
         if s.is_empty() || s == "⟨⟩" {
@@ -256,11 +442,16 @@ impl FromStr for Schedule {
             let err = || ParseScheduleError {
                 token: token.to_string(),
             };
+            if token == "C" {
+                events.push(Event::SystemCrash);
+                continue;
+            }
             let (kind, rest) = token.split_at(1);
             let id: u16 = rest.parse().map_err(|_| err())?;
             match kind {
                 "p" => events.push(Event::Step(ProcessId(id))),
                 "c" => events.push(Event::Crash(ProcessId(id))),
+                "d" => events.push(Event::CrashDuring(ProcessId(id))),
                 _ => return Err(err()),
             }
         }
@@ -293,6 +484,86 @@ mod tests {
         assert!("x0".parse::<Schedule>().is_err());
         assert!("p".parse::<Schedule>().is_err());
         assert!("pq".parse::<Schedule>().is_err());
+        assert!("d".parse::<Schedule>().is_err());
+        assert!("CC".parse::<Schedule>().is_err());
+        assert!("C0".parse::<Schedule>().is_err());
+    }
+
+    #[test]
+    fn extended_fault_events_round_trip() {
+        let text = "p0 C d1 c1 p2 C d0";
+        let sched: Schedule = text.parse().unwrap();
+        assert_eq!(sched.to_string(), text);
+        assert_eq!(sched[1], Event::SystemCrash);
+        assert_eq!(sched[2], Event::CrashDuring(ProcessId(1)));
+        assert_eq!(sched.len(), 7);
+        // Round-trip through Display again.
+        assert_eq!(sched.to_string().parse::<Schedule>().unwrap(), sched);
+    }
+
+    #[test]
+    fn extended_events_classify_as_crashes() {
+        assert!(Event::SystemCrash.is_crash());
+        assert!(Event::CrashDuring(ProcessId(0)).is_crash());
+        assert_eq!(Event::SystemCrash.process(), None);
+        assert_eq!(
+            Event::CrashDuring(ProcessId(3)).process(),
+            Some(ProcessId(3))
+        );
+        assert!(Event::SystemCrash.involves(ProcessId(7)));
+        assert!(!Event::CrashDuring(ProcessId(1)).involves(ProcessId(0)));
+        let sched: Schedule = "p0 C d1".parse().unwrap();
+        assert!(!sched.is_crash_free());
+        assert_eq!(sched.crashes_of(ProcessId(0)), 1); // the system crash
+        assert_eq!(sched.crashes_of(ProcessId(1)), 2); // C and d1
+        assert!(sched.contains_process(ProcessId(5))); // C involves everyone
+    }
+
+    #[test]
+    fn fault_model_names_round_trip() {
+        for (model, name) in [
+            (FaultModel::PER_PROCESS, "per-process"),
+            (FaultModel::SYSTEM, "system"),
+            (FaultModel::MID_OP, "mid-op"),
+            (FaultModel::ALL, "all"),
+        ] {
+            assert_eq!(model.to_string(), name);
+            assert_eq!(name.parse::<FaultModel>().unwrap(), model);
+        }
+        assert!("sideways".parse::<FaultModel>().is_err());
+        assert_eq!(FaultModel::default(), FaultModel::PER_PROCESS);
+        // Non-canonical combinations render as a flag list.
+        let custom = FaultModel {
+            per_process: false,
+            system_wide: true,
+            mid_operation: true,
+        };
+        assert_eq!(custom.key(), "sys+mid");
+    }
+
+    #[test]
+    fn fault_model_gates_events() {
+        let step = Event::Step(ProcessId(0));
+        let crash = Event::Crash(ProcessId(0));
+        let during = Event::CrashDuring(ProcessId(0));
+        for model in [
+            FaultModel::PER_PROCESS,
+            FaultModel::SYSTEM,
+            FaultModel::MID_OP,
+            FaultModel::ALL,
+        ] {
+            assert!(model.allows(step), "{model}: steps always allowed");
+        }
+        assert!(FaultModel::PER_PROCESS.allows(crash));
+        assert!(!FaultModel::PER_PROCESS.allows(Event::SystemCrash));
+        assert!(!FaultModel::PER_PROCESS.allows(during));
+        assert!(!FaultModel::SYSTEM.allows(crash));
+        assert!(FaultModel::SYSTEM.allows(Event::SystemCrash));
+        assert!(FaultModel::MID_OP.allows(crash));
+        assert!(FaultModel::MID_OP.allows(during));
+        assert!(!FaultModel::MID_OP.allows(Event::SystemCrash));
+        assert!(FaultModel::ALL.allows(Event::SystemCrash));
+        assert!(FaultModel::ALL.allows(during));
     }
 
     #[test]

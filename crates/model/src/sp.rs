@@ -89,7 +89,8 @@ pub fn s_p_first_in(procs: &[ProcessId], first_team: &[ProcessId]) -> Vec<Schedu
         .filter(|s| {
             s.events()
                 .first()
-                .is_some_and(|e| first_team.contains(&e.process()))
+                .and_then(|e| e.process())
+                .is_some_and(|p| first_team.contains(&p))
         })
         .collect()
 }
@@ -125,7 +126,7 @@ mod tests {
         for s in s_p(&pids(&[0, 1, 2, 3])) {
             let mut seen = std::collections::HashSet::new();
             for e in s.iter() {
-                assert!(seen.insert(e.process()), "duplicate in {s}");
+                assert!(seen.insert(e.process().unwrap()), "duplicate in {s}");
                 assert!(!e.is_crash());
             }
         }
@@ -138,7 +139,7 @@ mod tests {
         let filtered = s_p_first_in(&procs, &team);
         assert!(!filtered.is_empty());
         for s in &filtered {
-            assert_eq!(s.events()[0].process(), ProcessId(1));
+            assert_eq!(s.events()[0].process(), Some(ProcessId(1)));
         }
         // Complement check: p1-first schedules of 3 processes = 1 + 2 + 2 = 5.
         assert_eq!(filtered.len(), 5);

@@ -123,12 +123,16 @@ impl fmt::Display for Violation {
 pub struct StepEffect {
     /// The event that was applied.
     pub event: Event,
-    /// The object access performed, if any (`None` for crashes and no-op
-    /// steps of decided processes).
+    /// The object access performed, if any (`None` for plain crashes and
+    /// no-op steps of decided processes; a mid-operation crash records the
+    /// linearized access).
     pub access: Option<(ObjectId, OpId)>,
-    /// An output made by this event, if any.
-    pub output: Option<(ProcessId, u32)>,
-    /// A safety violation triggered by this event, if any.
+    /// Outputs made by this event, in process-id order. At most one for
+    /// steps and individual crashes; a system-wide crash can re-output
+    /// several processes at once (programs whose initial state is an output
+    /// state).
+    pub outputs: Vec<(ProcessId, u32)>,
+    /// The first safety violation triggered by this event, if any.
     pub violation: Option<Violation>,
 }
 
@@ -313,25 +317,33 @@ impl System {
         let mut effect = StepEffect {
             event,
             access: None,
-            output: None,
+            outputs: Vec::new(),
             violation: None,
         };
         match event {
             Event::Crash(p) => {
-                // Crash: local state resets; shared objects persist; the
-                // process keeps (re-reads) its input.
-                let input = self.inputs[p.index()];
-                let state = self.program.initial_state(p, input);
-                // A program whose initial state is an output state re-outputs
-                // on recovery; record (and check) that like any output.
-                if let Action::Output(v) = self.program.action(p, &state) {
-                    effect.output = Some((p, v));
-                    effect.violation = self.check_output(config, p, v);
-                    if config.decided[p.index()].is_none() {
-                        config.decided[p.index()] = Some(v);
-                    }
+                self.reset_process(config, &mut effect, p);
+            }
+            Event::SystemCrash => {
+                // Golab's simultaneous crash: every process resets at once
+                // (shared objects persist). Re-outputs of programs whose
+                // initial state is an output state are recorded and checked
+                // in process-id order.
+                for i in 0..self.n() {
+                    self.reset_process(config, &mut effect, ProcessId(i as u16));
                 }
-                config.states[p.index()] = state;
+            }
+            Event::CrashDuring(p) => {
+                // Mid-operation crash, linearized resolution: the pending
+                // invocation takes effect on the object, but the response
+                // is lost together with the crashed process's volatile
+                // state. Without a pending invocation this degenerates to
+                // an ordinary crash.
+                if let Action::Invoke { object, op } = self.action_of(config, p) {
+                    self.layout.apply(&mut config.values, object, op);
+                    effect.access = Some((object, op));
+                }
+                self.reset_process(config, &mut effect, p);
             }
             Event::Step(p) => {
                 let state = &config.states[p.index()];
@@ -345,7 +357,7 @@ impl System {
                         let new_state = self.program.transition(p, state, out.response);
                         // Did this step enter an output state?
                         if let Action::Output(v) = self.program.action(p, &new_state) {
-                            effect.output = Some((p, v));
+                            effect.outputs.push((p, v));
                             effect.violation = self.check_output(config, p, v);
                             if config.decided[p.index()].is_none() {
                                 config.decided[p.index()] = Some(v);
@@ -357,6 +369,26 @@ impl System {
             }
         }
         effect
+    }
+
+    /// Crash-resets one process: local state resets to the initial state
+    /// (shared objects persist; the process keeps its input). A program
+    /// whose initial state is an output state re-outputs on recovery; that
+    /// output is recorded and checked like any other, keeping the *first*
+    /// violation when several processes reset within one event.
+    fn reset_process(&self, config: &mut Configuration, effect: &mut StepEffect, p: ProcessId) {
+        let input = self.inputs[p.index()];
+        let state = self.program.initial_state(p, input);
+        if let Action::Output(v) = self.program.action(p, &state) {
+            effect.outputs.push((p, v));
+            if effect.violation.is_none() {
+                effect.violation = self.check_output(config, p, v);
+            }
+            if config.decided[p.index()].is_none() {
+                config.decided[p.index()] = Some(v);
+            }
+        }
+        config.states[p.index()] = state;
     }
 
     fn check_output(&self, config: &Configuration, p: ProcessId, v: u32) -> Option<Violation> {
@@ -493,6 +525,111 @@ mod tests {
         config.states[1] = LocalState::word1(42); // pretend it progressed
         sys.apply(&mut config, Event::Crash(ProcessId(1)));
         assert_eq!(config.states[1], LocalState::word1(9));
+    }
+
+    #[test]
+    fn system_crash_resets_every_process() {
+        let sys = trivial(vec![7, 9]);
+        let mut config = sys.initial_config();
+        config.states[0] = LocalState::word1(41);
+        config.states[1] = LocalState::word1(42);
+        let effect = sys.apply(&mut config, Event::SystemCrash);
+        assert_eq!(config.states[0], LocalState::word1(7));
+        assert_eq!(config.states[1], LocalState::word1(9));
+        // OutputInput's initial state is an output state: both processes
+        // re-output on recovery, in process-id order, and the conflicting
+        // pair is an agreement violation.
+        assert_eq!(effect.outputs, vec![(ProcessId(0), 7), (ProcessId(1), 9)]);
+        assert!(effect.violation.is_some());
+    }
+
+    /// Writes its input to the register, then outputs the input.
+    struct WriteFirst {
+        reg: ObjectId,
+    }
+
+    impl Program for WriteFirst {
+        fn name(&self) -> String {
+            "write-first".into()
+        }
+        fn initial_state(&self, _pid: ProcessId, input: u32) -> LocalState {
+            LocalState::word2(input, 0)
+        }
+        fn action(&self, _pid: ProcessId, state: &LocalState) -> Action {
+            if state.word(1) == 0 {
+                Action::Invoke {
+                    object: self.reg,
+                    op: OpId::new(state.word(0) as u16),
+                }
+            } else {
+                Action::Output(state.word(0))
+            }
+        }
+        fn transition(
+            &self,
+            _pid: ProcessId,
+            state: &LocalState,
+            _response: rcn_spec::Response,
+        ) -> LocalState {
+            LocalState::word2(state.word(0), 1)
+        }
+    }
+
+    fn write_sys(inputs: Vec<u32>) -> (System, ObjectId) {
+        let mut layout = HeapLayout::new();
+        let reg = layout.add_object(
+            "R",
+            Arc::new(rcn_spec::zoo::Register::new(2)),
+            ValueId::new(0),
+        );
+        (
+            System::new(Arc::new(WriteFirst { reg }), Arc::new(layout), inputs),
+            reg,
+        )
+    }
+
+    #[test]
+    fn crash_during_linearizes_the_pending_operation() {
+        let (sys, reg) = write_sys(vec![1, 1]);
+        let before = sys.initial_config();
+
+        // Ordinary crash: the pending write is lost with the process.
+        let mut lost = before.clone();
+        let effect = sys.apply(&mut lost, Event::Crash(ProcessId(0)));
+        assert_eq!(effect.access, None);
+        assert_eq!(lost.values, before.values);
+
+        // Mid-operation crash: the write takes effect, the process still
+        // resets (its response — and thus its progress — is lost).
+        let mut linearized = before.clone();
+        let effect = sys.apply(&mut linearized, Event::CrashDuring(ProcessId(0)));
+        assert!(effect.access.is_some());
+        assert_ne!(linearized.values, before.values);
+        assert_eq!(linearized.states[0], before.states[0], "state reset");
+
+        // A later step by p0 re-invokes: the operation's effect persisted
+        // but p0 remembers nothing of it.
+        let effect = sys.apply(&mut linearized, Event::Step(ProcessId(0)));
+        assert_eq!(effect.access.map(|(o, _)| o), Some(reg));
+    }
+
+    #[test]
+    fn crash_during_without_pending_op_degenerates_to_crash() {
+        let (sys, _) = write_sys(vec![1, 1]);
+        let mut config = sys.initial_config();
+        // Step p0 into its output state: no operation in flight any more.
+        sys.apply(&mut config, Event::Step(ProcessId(0)));
+        let via_during = {
+            let mut c = config.clone();
+            sys.apply(&mut c, Event::CrashDuring(ProcessId(0)));
+            c
+        };
+        let via_crash = {
+            let mut c = config.clone();
+            sys.apply(&mut c, Event::Crash(ProcessId(0)));
+            c
+        };
+        assert_eq!(via_during, via_crash);
     }
 
     #[test]

@@ -46,6 +46,11 @@ pub struct ScheduleReport {
 /// plus everything the report is assembled from.
 struct Shared {
     cursor: usize,
+    /// During a [`Event::SystemCrash`], the index of the process whose turn
+    /// it is to reset (every worker participates, in process-id order, so
+    /// re-outputs are recorded in the same order as the abstract
+    /// executor's). `0` outside a system crash.
+    sys_next: usize,
     trace: Vec<Event>,
     outputs: Vec<(ProcessId, u32)>,
     decided: Vec<Option<u32>>,
@@ -134,11 +139,12 @@ pub fn run_schedule_traced(
 ) -> ScheduleReport {
     let n = system.n();
     for event in schedule.iter() {
-        assert!(
-            event.process().index() < n,
-            "schedule names {} but the system has {n} processes",
-            event.process()
-        );
+        if let Some(p) = event.process() {
+            assert!(
+                p.index() < n,
+                "schedule names {p} but the system has {n} processes"
+            );
+        }
     }
     let heap = NvHeap::new(system.layout_arc());
     let events: Vec<Event> = schedule.events().to_vec();
@@ -148,6 +154,7 @@ pub fn run_schedule_traced(
     let initial = system.initial_config();
     let shared = Mutex::new(Shared {
         cursor: 0,
+        sys_next: 0,
         trace: Vec::with_capacity(events.len()),
         outputs: Vec::new(),
         decided: initial.decided.clone(),
@@ -178,7 +185,14 @@ pub fn run_schedule_traced(
                 let mut state = program.initial_state(pid, input);
                 let mut guard = shared.lock().expect("replay shared state");
                 loop {
-                    while guard.cursor < events.len() && events[guard.cursor].process() != pid {
+                    // A worker's turn: the cursor event belongs to it, or
+                    // it is a system-wide crash and the reset token
+                    // (process-id order) has reached this worker.
+                    let my_turn = |guard: &Shared| match events[guard.cursor].process() {
+                        Some(p) => p == pid,
+                        None => guard.sys_next == pid.index(),
+                    };
+                    while guard.cursor < events.len() && !my_turn(&guard) {
                         guard = turn.wait(guard).expect("replay shared state");
                     }
                     if guard.cursor >= events.len() {
@@ -197,6 +211,53 @@ pub fn run_schedule_traced(
                             }
                             // Volatile state dies; the heap persists. A
                             // recovery into an output state re-outputs.
+                            state = program.initial_state(pid, input);
+                            if let Action::Output(v) = program.action(pid, &state) {
+                                guard.record_output(system, pid, v);
+                            }
+                        }
+                        Event::SystemCrash => {
+                            // Every worker resets its own volatile state;
+                            // the heap persists. Workers take the token in
+                            // process-id order, so re-outputs land in the
+                            // same order as the abstract executor's, and
+                            // only the last participant advances the
+                            // cursor.
+                            crashes.incr();
+                            if tracer.recording() {
+                                tracer.event(
+                                    "runtime.crash",
+                                    guard.cursor as i64,
+                                    &pid.to_string(),
+                                );
+                            }
+                            state = program.initial_state(pid, input);
+                            if let Action::Output(v) = program.action(pid, &state) {
+                                guard.record_output(system, pid, v);
+                            }
+                            if pid.index() + 1 < n {
+                                guard.sys_next = pid.index() + 1;
+                                turn.notify_all();
+                                continue;
+                            }
+                            guard.sys_next = 0;
+                        }
+                        Event::CrashDuring(_) => {
+                            // Mid-operation crash, linearized resolution:
+                            // the pending invocation hits the heap, but the
+                            // response dies with the worker's volatile
+                            // state.
+                            crashes.incr();
+                            if tracer.recording() {
+                                tracer.event(
+                                    "runtime.crash",
+                                    guard.cursor as i64,
+                                    &pid.to_string(),
+                                );
+                            }
+                            if let Action::Invoke { object, op } = program.action(pid, &state) {
+                                heap.apply(object, op);
+                            }
                             state = program.initial_state(pid, input);
                             if let Action::Output(v) = program.action(pid, &state) {
                                 guard.record_output(system, pid, v);
@@ -248,7 +309,7 @@ mod tests {
     use super::*;
     use rcn_model::Execution;
     use rcn_obs::{KIND_CLOSE, KIND_OPEN};
-    use rcn_protocols::{TasConsensus, TnnRecoverable};
+    use rcn_protocols::{TasConsensus, TnnRecoverable, TnnWaitFree};
 
     #[test]
     fn golabs_schedule_reproduces_the_violation_on_threads() {
@@ -282,6 +343,70 @@ mod tests {
     fn out_of_range_process_ids_are_rejected() {
         let sys = TasConsensus::system(vec![0, 1]);
         run_schedule(&sys, &"p7".parse().unwrap());
+    }
+
+    #[test]
+    fn system_crash_replays_like_the_abstract_executor() {
+        // Golab's T&S counterexample with the lone crash widened to a
+        // system-wide one: every worker resets, and the replay stays
+        // bit-identical to the abstract run.
+        let sys = TasConsensus::system(vec![0, 1]);
+        let schedule: Schedule = "p0 p0 C p1 p1 p0 p0 p0 p1 p1".parse().unwrap();
+        let report = run_schedule(&sys, &schedule);
+        let exec = Execution::record(&sys, &schedule);
+        assert_eq!(report.trace, schedule, "replay must follow the schedule");
+        assert_eq!(report.outputs, exec.outputs());
+        assert_eq!(report.violation, exec.first_violation());
+        assert_eq!(report.decisions, exec.final_config().decided);
+    }
+
+    #[test]
+    fn mid_operation_crash_replays_like_the_abstract_executor() {
+        // The depth-3 ⊥-divergence of wait-free T_{2,1}: p0's pending
+        // operation linearizes (the object saturates) but its response is
+        // lost to the crash, so p0 retries after recovery.
+        let sys = TnnWaitFree::system(2, 1, vec![0, 1]);
+        let schedule: Schedule = "p1 d0 p0".parse().unwrap();
+        let report = run_schedule(&sys, &schedule);
+        let exec = Execution::record(&sys, &schedule);
+        assert_eq!(report.trace, schedule);
+        assert_eq!(report.outputs, exec.outputs());
+        assert_eq!(report.violation, exec.first_violation());
+        assert!(report.violation.is_some(), "p1 d0 p0 must diverge");
+        assert_eq!(report.decisions, exec.final_config().decided);
+    }
+
+    #[test]
+    fn mixed_fault_schedules_replay_bit_identically() {
+        // All four event families in one schedule, across both a broken
+        // and a certified protocol.
+        for (sys, text) in [
+            (TasConsensus::system(vec![0, 1]), "p0 d1 C p0 p1 c0 p0 p0"),
+            (
+                TnnRecoverable::system(5, 2, vec![1, 0]),
+                "p0 c0 d0 p1 C p0 p1 d1 p1 p1",
+            ),
+        ] {
+            let schedule: Schedule = text.parse().unwrap();
+            let report = run_schedule(&sys, &schedule);
+            let exec = Execution::record(&sys, &schedule);
+            assert_eq!(report.trace, schedule, "{text}");
+            assert_eq!(report.outputs, exec.outputs(), "{text}");
+            assert_eq!(report.violation, exec.first_violation(), "{text}");
+            assert_eq!(report.decisions, exec.final_config().decided, "{text}");
+        }
+    }
+
+    #[test]
+    fn traced_system_crash_counts_every_worker_reset() {
+        let sys = TasConsensus::system(vec![0, 1]);
+        let schedule: Schedule = "p0 C p1".parse().unwrap();
+        let tracer = Tracer::ring(256);
+        run_schedule_traced(&sys, &schedule, &tracer);
+        let snap = tracer.snapshot().expect("enabled tracer");
+        // A system-wide crash resets both workers: two crash increments.
+        assert_eq!(snap.counter("runtime.crashes"), Some(2));
+        assert_eq!(snap.counter("runtime.steps"), Some(2));
     }
 
     #[test]

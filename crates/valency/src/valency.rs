@@ -179,6 +179,11 @@ impl BudgetedGraph {
                         Event::Crash(_) => {
                             next.allowance[i] -= 1;
                         }
+                        // The E_z graphs are defined over the paper's §3
+                        // budget model, which has only per-process events.
+                        Event::SystemCrash | Event::CrashDuring(_) => {
+                            unreachable!("E_z graphs enumerate only steps and per-process crashes")
+                        }
                     }
                     let target = match index.get(&next) {
                         Some(&t) => t,

@@ -1,9 +1,10 @@
 //! The disk-cache fail-point sweep: inject a filesystem fault at *every*
 //! I/O operation the cache performs — each read, write, rename, and
-//! directory creation, in both hard-error and torn-write (truncation)
-//! flavors — and demand the same classification as a fault-free run at
-//! every single injection point, with zero panics and no lasting damage
-//! (the next clean run self-repairs back to a warm cache).
+//! directory creation, in hard-error, torn-write (truncation),
+//! write-reordering, and write-duplication flavors — and demand the same
+//! classification as a fault-free run at every single injection point,
+//! with zero panics and no lasting damage (the next clean run
+//! self-repairs back to a warm cache).
 //!
 //! This is the executable form of the cache's availability contract: the
 //! persistent layer is an *accelerator*, so no single filesystem fault may
@@ -62,7 +63,12 @@ fn baseline() -> (TypeClassification, u64, u64) {
 fn every_cold_run_injection_point_falls_back_to_recompute() {
     let (reference, cold_ops, _) = baseline();
     let mut injected_points = 0;
-    for mode in [FaultMode::Error, FaultMode::Truncate] {
+    for mode in [
+        FaultMode::Error,
+        FaultMode::Truncate,
+        FaultMode::Reorder,
+        FaultMode::Duplicate,
+    ] {
         for k in 0..cold_ops {
             let dir = scratch(&format!("cold-{mode:?}-{k}"));
             let io = Arc::new(FaultyIo::new(k, mode));
@@ -79,14 +85,19 @@ fn every_cold_run_injection_point_falls_back_to_recompute() {
             std::fs::remove_dir_all(&dir).ok();
         }
     }
-    // 100% coverage in both modes, by construction of the loop bounds.
-    assert_eq!(injected_points, 2 * cold_ops);
+    // 100% coverage in all four modes, by construction of the loop bounds.
+    assert_eq!(injected_points, 4 * cold_ops);
 }
 
 #[test]
 fn every_warm_run_injection_point_falls_back_to_recompute() {
     let (reference, _, warm_ops) = baseline();
-    for mode in [FaultMode::Error, FaultMode::Truncate] {
+    for mode in [
+        FaultMode::Error,
+        FaultMode::Truncate,
+        FaultMode::Reorder,
+        FaultMode::Duplicate,
+    ] {
         for k in 0..warm_ops {
             let dir = scratch(&format!("warm-{mode:?}-{k}"));
             // Populate the cache cleanly first; the fault then hits one of
@@ -152,7 +163,7 @@ fn sweep_coverage_is_printable() {
     let (_, cold_ops, warm_ops) = baseline();
     println!("cold-run injection points per mode: {cold_ops}");
     println!("warm-run injection points per mode: {warm_ops}");
-    println!("total swept (2 modes): {}", 2 * (cold_ops + warm_ops));
+    println!("total swept (4 modes): {}", 4 * (cold_ops + warm_ops));
     assert!(
         cold_ops >= 3,
         "cold run: create_dir + write + rename at least"

@@ -12,7 +12,7 @@ use rcn::mc::{model_check, valency_check, Coverage, McConfig, ValencyConfig};
 use rcn::protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
 use rcn::spec::zoo::{CompareAndSwap, StickyBit, Tnn};
 use rcn::valency::BudgetedGraph;
-use rcn_model::System;
+use rcn_model::{FaultModel, System};
 use std::sync::Arc;
 
 fn protocols() -> Vec<(&'static str, System)> {
@@ -30,43 +30,61 @@ fn protocols() -> Vec<(&'static str, System)> {
     ]
 }
 
+/// The four CLI fault models the differential sweeps quantify over.
+const FAULT_MODELS: [FaultModel; 4] = [
+    FaultModel::PER_PROCESS,
+    FaultModel::SYSTEM,
+    FaultModel::MID_OP,
+    FaultModel::ALL,
+];
+
 /// The two engines must agree on violation *existence* at every shared
-/// budget: BFS over the same event semantics reaches a violating
-/// configuration within depth D and K crashes iff the memoized DFS does.
+/// budget and under every fault model: BFS over the same event semantics
+/// reaches a violating configuration within depth D and K crashes iff
+/// the memoized DFS does.
 #[test]
 fn verdicts_agree_across_a_budget_sweep() {
     for (name, sys) in protocols() {
-        for (max_crashes, max_depth) in [(0, 6), (1, 4), (1, 5), (1, 6), (2, 6), (1, 8), (2, 10)] {
-            let dfs = crashtest(
-                &sys,
-                CrashtestConfig {
-                    max_crashes,
-                    max_depth,
-                    max_states: 500_000,
-                },
-            );
-            let bfs = model_check(
-                &sys,
-                McConfig {
-                    max_crashes,
-                    max_depth,
-                    max_states: 500_000,
-                },
-            );
-            assert!(dfs.stats.exhaustive(), "{name} dfs capped at {max_depth}");
-            assert_eq!(
-                bfs.coverage,
-                Coverage::Exhaustive,
-                "{name} bfs capped at {max_depth}"
-            );
-            assert_eq!(
-                dfs.counterexample.is_some(),
-                bfs.counterexample.is_some(),
-                "{name} verdicts diverge at crashes={max_crashes}, depth={max_depth}: \
-                 dfs={:?} bfs={:?}",
-                dfs.counterexample.as_ref().map(|c| c.schedule.to_string()),
-                bfs.counterexample.as_ref().map(|c| c.schedule.to_string()),
-            );
+        for fault_model in FAULT_MODELS {
+            for (max_crashes, max_depth) in
+                [(0, 6), (1, 4), (1, 5), (1, 6), (2, 6), (1, 8), (2, 10)]
+            {
+                let dfs = crashtest(
+                    &sys,
+                    CrashtestConfig {
+                        max_crashes,
+                        max_depth,
+                        max_states: 500_000,
+                        fault_model,
+                    },
+                );
+                let bfs = model_check(
+                    &sys,
+                    McConfig {
+                        max_crashes,
+                        max_depth,
+                        max_states: 500_000,
+                        fault_model,
+                    },
+                );
+                assert!(
+                    dfs.stats.exhaustive(),
+                    "{name} model={fault_model} dfs capped at {max_depth}"
+                );
+                assert_eq!(
+                    bfs.coverage,
+                    Coverage::Exhaustive,
+                    "{name} model={fault_model} bfs capped at {max_depth}"
+                );
+                assert_eq!(
+                    dfs.counterexample.is_some(),
+                    bfs.counterexample.is_some(),
+                    "{name} verdicts diverge at model={fault_model}, crashes={max_crashes}, \
+                     depth={max_depth}: dfs={:?} bfs={:?}",
+                    dfs.counterexample.as_ref().map(|c| c.schedule.to_string()),
+                    bfs.counterexample.as_ref().map(|c| c.schedule.to_string()),
+                );
+            }
         }
     }
 }
@@ -95,18 +113,26 @@ fn bfs_counterexamples_are_depth_minimal() {
     }
 }
 
-/// Every counterexample the checker reports replays identically through
-/// the abstract executor and the threaded runtime (the RCN203 bridge).
+/// Every counterexample the checker reports — under every fault model,
+/// including schedules containing system-wide (`C`) and mid-operation
+/// (`d_i`) crashes — replays identically through the abstract executor
+/// and the threaded runtime (the RCN203 bridge).
 #[test]
 fn bfs_counterexamples_replay_on_both_executors() {
     for (name, sys) in protocols() {
-        if let Some(cex) = model_check(&sys, McConfig::default()).counterexample {
-            let replayed = replay(&sys, &cex.schedule);
-            assert!(
-                replayed.confirmed(),
-                "{name}: `{}` not confirmed: {replayed}",
-                cex.schedule
-            );
+        for fault_model in FAULT_MODELS {
+            let config = McConfig {
+                fault_model,
+                ..McConfig::default()
+            };
+            if let Some(cex) = model_check(&sys, config).counterexample {
+                let replayed = replay(&sys, &cex.schedule);
+                assert!(
+                    replayed.confirmed(),
+                    "{name} model={fault_model}: `{}` not confirmed: {replayed}",
+                    cex.schedule
+                );
+            }
         }
     }
 }

@@ -8,7 +8,9 @@
 use proptest::prelude::*;
 use rcn::decide::{CacheIo, FaultMode, FaultyIo};
 use rcn::faults::{CrashExplorer, CrashtestConfig, CrashtestReport, ExplorerMemo};
-use rcn::model::{Action, HeapLayout, LocalState, ObjectId, ProcessId, Program, System};
+use rcn::model::{
+    Action, FaultModel, HeapLayout, LocalState, ObjectId, ProcessId, Program, System,
+};
 use rcn::protocols::{TasConsensus, TnnRecoverable, TnnWaitFree, TournamentConsensus};
 use rcn::spec::zoo::{Register, StickyBit};
 use rcn::spec::{OpId, Response, ValueId};
@@ -51,30 +53,52 @@ fn assert_same(a: &CrashtestReport, b: &CrashtestReport, ctx: &str) {
     );
 }
 
-/// The tentpole's acceptance bar: at every budget in the sweep, 2- and
-/// 4-thread sharded searches return the same verdict and the same
-/// lex-least counterexample as the sequential work-list.
+/// The four CLI fault models every differential sweep in this file
+/// quantifies over.
+const FAULT_MODELS: [FaultModel; 4] = [
+    FaultModel::PER_PROCESS,
+    FaultModel::SYSTEM,
+    FaultModel::MID_OP,
+    FaultModel::ALL,
+];
+
+/// The tentpole's acceptance bar: at every budget in the sweep and under
+/// every fault model, 2- and 4-thread sharded searches return the same
+/// verdict and the same lex-least counterexample as the sequential
+/// work-list.
 #[test]
 fn sharded_search_matches_sequential_across_the_zoo() {
     for (name, sys) in protocols() {
-        for (max_crashes, max_depth) in [(0, 6), (1, 4), (1, 6), (2, 6), (1, 8)] {
-            let config = CrashtestConfig {
-                max_crashes,
-                max_depth,
-                max_states: 500_000,
-            };
-            let seq = CrashExplorer::new(&sys, config).explore();
-            assert!(seq.stats.exhaustive(), "{name} capped at {max_depth}");
-            for threads in [2, 4] {
-                let par = CrashExplorer::new(&sys, config)
-                    .with_threads(threads)
-                    .explore();
-                assert_same(
-                    &seq,
-                    &par,
-                    &format!("{name} crashes={max_crashes} depth={max_depth} threads={threads}"),
+        for fault_model in FAULT_MODELS {
+            for (max_crashes, max_depth) in [(0, 6), (1, 4), (1, 6), (2, 6), (1, 8)] {
+                let config = CrashtestConfig {
+                    max_crashes,
+                    max_depth,
+                    max_states: 500_000,
+                    fault_model,
+                };
+                let seq = CrashExplorer::new(&sys, config).explore();
+                assert!(
+                    seq.stats.exhaustive(),
+                    "{name} model={fault_model} capped at {max_depth}"
                 );
-                assert!(par.stats.exhaustive(), "{name} parallel run not exhaustive");
+                for threads in [2, 4] {
+                    let par = CrashExplorer::new(&sys, config)
+                        .with_threads(threads)
+                        .explore();
+                    assert_same(
+                        &seq,
+                        &par,
+                        &format!(
+                            "{name} model={fault_model} crashes={max_crashes} \
+                             depth={max_depth} threads={threads}"
+                        ),
+                    );
+                    assert!(
+                        par.stats.exhaustive(),
+                        "{name} model={fault_model} parallel run not exhaustive"
+                    );
+                }
             }
         }
     }
@@ -87,13 +111,24 @@ fn sharded_search_matches_sequential_across_the_zoo() {
 /// facts). A warm *sharded* run agrees too.
 #[test]
 fn memo_resume_reproduces_the_verdict_bit_for_bit() {
+    for fault_model in FAULT_MODELS {
+        memo_resume_under(fault_model);
+    }
+}
+
+fn memo_resume_under(fault_model: FaultModel) {
     let config = CrashtestConfig {
         max_crashes: 1,
         max_depth: 6,
         max_states: 500_000,
+        fault_model,
     };
     for (name, sys) in protocols() {
-        let dir = scratch(&format!("resume-{}", name.replace([':', ','], "-")));
+        let name = &format!("{name} model={fault_model}");
+        let dir = scratch(&format!(
+            "resume-{}",
+            name.replace([':', ',', ' ', '=', '+'], "-")
+        ));
         let cold = CrashExplorer::new(&sys, config)
             .with_memo(ExplorerMemo::new(&dir))
             .explore();
@@ -124,6 +159,57 @@ fn memo_resume_reproduces_the_verdict_bit_for_bit() {
     }
 }
 
+/// Fault-model key isolation: a memo written under one fault model is
+/// never consumed under another. A clean verdict under `per-process`
+/// proves nothing about `system` or `mid-op` crashes, so resuming across
+/// models would be unsound — the run under the other model must be cold
+/// (`resumed_states == 0`) and must still match its own memo-less
+/// reference bit-for-bit.
+#[test]
+fn memo_written_under_one_fault_model_is_never_consumed_under_another() {
+    for (name, sys) in protocols() {
+        let dir = scratch(&format!("isolate-{}", name.replace([':', ','], "-")));
+        for writer in FAULT_MODELS {
+            let config = CrashtestConfig {
+                max_crashes: 1,
+                max_depth: 6,
+                max_states: 500_000,
+                fault_model: writer,
+            };
+            let cold = CrashExplorer::new(&sys, config)
+                .with_memo(ExplorerMemo::new(&dir))
+                .explore();
+            assert_same(
+                &CrashExplorer::new(&sys, config).explore(),
+                &cold,
+                &format!("{name} writer={writer}"),
+            );
+            for reader in FAULT_MODELS {
+                if reader == writer {
+                    continue;
+                }
+                let other = CrashtestConfig {
+                    fault_model: reader,
+                    ..config
+                };
+                let run = CrashExplorer::new(&sys, other)
+                    .with_memo(ExplorerMemo::new(&dir))
+                    .explore();
+                assert_eq!(
+                    run.stats.resumed_states, 0,
+                    "{name}: a {reader} run resumed from a {writer} memo"
+                );
+                assert_same(
+                    &CrashExplorer::new(&sys, other).explore(),
+                    &run,
+                    &format!("{name} writer={writer} reader={reader}"),
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Fail-point sweep of the persistent memo: inject a filesystem fault at
 // every I/O operation (cold-run store traffic and warm-run load traffic,
@@ -148,6 +234,7 @@ fn sweep_protocol(name: &str, sys: &System) {
         max_crashes: 1,
         max_depth: 6,
         max_states: 500_000,
+        ..Default::default()
     };
     let reference = CrashExplorer::new(sys, config).explore();
 
@@ -166,7 +253,12 @@ fn sweep_protocol(name: &str, sys: &System) {
     assert!(warm_ops > 0, "{name}: warm run must touch the disk");
 
     let mut saw_quarantine = false;
-    for mode in [FaultMode::Error, FaultMode::Truncate] {
+    for mode in [
+        FaultMode::Error,
+        FaultMode::Truncate,
+        FaultMode::Reorder,
+        FaultMode::Duplicate,
+    ] {
         // Cold sweep: the fault lands in the store path (or the initial
         // miss-read); the verdict is computed, not read, so it must be
         // byte-identical regardless.
@@ -306,16 +398,19 @@ proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
     /// Sequential, sharded, and disk-resumed searches agree — verdict and
-    /// counterexample — on random (mostly broken) readable-table programs.
+    /// counterexample — on random (mostly broken) readable-table programs,
+    /// under every fault model.
     #[test]
     fn engines_agree_on_random_programs(
         (op, next, start) in arb_program(4),
+        model_idx in 0usize..4,
     ) {
         let sys = build_system(4, op, next, start);
         let config = CrashtestConfig {
             max_crashes: 1,
             max_depth: 6,
             max_states: 500_000,
+            fault_model: FAULT_MODELS[model_idx],
         };
         let seq = CrashExplorer::new(&sys, config).explore();
         for threads in [2, 4] {

@@ -4,17 +4,19 @@
 
 use proptest::prelude::*;
 use rcn::decide::{check_discerning, check_recording, synthesis, Analysis, Team, Witness};
-use rcn::model::{BudgetKind, CrashBudget, Event, ProcessId, Schedule};
+use rcn::model::{BudgetKind, CrashBudget, Event, FaultModel, ProcessId, Schedule};
 use rcn::spec::zoo::{Register, TestAndSet, Tnn};
 use rcn::spec::{apply_all, check_closed, ObjectType, OpId, TableType, ValueId};
 
 fn arb_event(n: u16) -> impl Strategy<Value = Event> {
-    (0..n, prop::bool::ANY).prop_map(|(p, crash)| {
-        if crash {
-            Event::Crash(ProcessId(p))
-        } else {
-            Event::Step(ProcessId(p))
-        }
+    // All four event families, so the algebraic laws below cover
+    // mixed-model schedules (steps, per-process, system-wide and
+    // mid-operation crashes in one sequence).
+    (0..n, 0usize..4).prop_map(|(p, kind)| match kind {
+        0 => Event::Step(ProcessId(p)),
+        1 => Event::Crash(ProcessId(p)),
+        2 => Event::SystemCrash,
+        _ => Event::CrashDuring(ProcessId(p)),
     })
 }
 
@@ -191,6 +193,29 @@ proptest! {
         prop_assert_eq!(&kernel, &chained);
     }
 
+    /// The abstract↔threaded replay bridge holds on *random mixed-model
+    /// schedules*: any sequence of steps, per-process crashes, system-wide
+    /// crashes and mid-operation crashes replays through the threaded
+    /// runtime with the same trace, outputs, decisions and violation as
+    /// the abstract executor.
+    #[test]
+    fn threaded_replay_matches_abstract_on_mixed_fault_schedules(
+        sched in arb_schedule(2, 12),
+        proto in 0usize..3,
+    ) {
+        let sys = match proto {
+            0 => rcn::protocols::TasConsensus::system(vec![0, 1]),
+            1 => rcn::protocols::TnnWaitFree::system(2, 1, vec![0, 1]),
+            _ => rcn::protocols::TnnRecoverable::system(5, 2, vec![1, 0]),
+        };
+        let exec = rcn::model::Execution::record(&sys, &sched);
+        let report = rcn::runtime::run_schedule(&sys, &sched);
+        prop_assert_eq!(&report.trace, &sched);
+        prop_assert_eq!(report.outputs, exec.outputs());
+        prop_assert_eq!(report.violation, exec.first_violation());
+        prop_assert_eq!(report.decisions, exec.final_config().decided.clone());
+    }
+
     /// Register semantics: the last write wins regardless of interleaving.
     #[test]
     fn register_last_write_wins(writes in prop::collection::vec(0u16..3, 1..10)) {
@@ -211,7 +236,14 @@ proptest! {
     fn dfs_and_bfs_checkers_agree_on_random_tables(
         seed in 0u64..80,
         inputs in prop::collection::vec(0u32..2, 2..4),
+        model_idx in 0usize..4,
     ) {
+        let fault_model = [
+            FaultModel::PER_PROCESS,
+            FaultModel::SYSTEM,
+            FaultModel::MID_OP,
+            FaultModel::ALL,
+        ][model_idx];
         let mut rng = synthesis::rng(seed);
         let t = synthesis::random_readable_table(&mut rng, 4, 2);
         let Ok(sys) = rcn::solve_recoverable(std::sync::Arc::new(t), inputs) else {
@@ -222,11 +254,13 @@ proptest! {
             max_crashes: 1,
             max_depth: 8,
             max_states: 100_000,
+            fault_model,
         });
         let bfs = rcn::mc::model_check(&sys, rcn::mc::McConfig {
             max_crashes: 1,
             max_depth: 8,
             max_states: 100_000,
+            fault_model,
         });
         prop_assert!(dfs.stats.exhaustive());
         prop_assert_eq!(bfs.coverage, rcn::mc::Coverage::Exhaustive);
